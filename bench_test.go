@@ -1,0 +1,204 @@
+// Benchmarks: one per paper table/figure (regenerating the experiment
+// at small scale and reporting the headline numbers as custom metrics)
+// plus ablation benches for the design choices DESIGN.md calls out.
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The custom metrics (useful_kbps, dup_ratio, ...) are the values
+// EXPERIMENTS.md tracks against the paper.
+package bullet_test
+
+import (
+	"testing"
+
+	"bullet"
+)
+
+func benchExperiment(b *testing.B, id string, report func(b *testing.B, r *bullet.ExperimentResult)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r, err := bullet.RunExperiment(id, bullet.SmallScale, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if report != nil {
+			report(b, r)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	benchExperiment(b, "table1", func(b *testing.B, r *bullet.ExperimentResult) {
+		b.ReportMetric(r.Summary["generated.nodes"], "topo_nodes")
+	})
+}
+
+func BenchmarkFig06(b *testing.B) {
+	benchExperiment(b, "fig6", func(b *testing.B, r *bullet.ExperimentResult) {
+		b.ReportMetric(r.MeanTail("bottleneck_tree", 0.4), "bottleneck_kbps")
+		b.ReportMetric(r.MeanTail("random_tree", 0.4), "random_kbps")
+	})
+}
+
+func BenchmarkFig07(b *testing.B) {
+	benchExperiment(b, "fig7", func(b *testing.B, r *bullet.ExperimentResult) {
+		b.ReportMetric(r.MeanTail("useful_total", 0.4), "useful_kbps")
+		b.ReportMetric(r.MeanTail("raw_total", 0.4), "raw_kbps")
+		b.ReportMetric(r.Summary["duplicate_ratio"], "dup_ratio")
+		b.ReportMetric(r.Summary["control_overhead_kbps"], "control_kbps")
+		b.ReportMetric(r.Summary["link_stress_avg"], "link_stress")
+	})
+}
+
+func BenchmarkFig08(b *testing.B) {
+	benchExperiment(b, "fig8", func(b *testing.B, r *bullet.ExperimentResult) {
+		if len(r.CDF) > 0 {
+			b.ReportMetric(r.CDF[len(r.CDF)/2], "median_kbps")
+			b.ReportMetric(r.CDF[len(r.CDF)/10], "p10_kbps")
+		}
+	})
+}
+
+func BenchmarkFig09(b *testing.B) {
+	benchExperiment(b, "fig9", func(b *testing.B, r *bullet.ExperimentResult) {
+		b.ReportMetric(r.MeanTail("bullet_low", 0.4), "bullet_low_kbps")
+		b.ReportMetric(r.MeanTail("bottleneck_tree_low", 0.4), "tree_low_kbps")
+		b.ReportMetric(r.MeanTail("bullet_high", 0.4), "bullet_high_kbps")
+		b.ReportMetric(r.MeanTail("bottleneck_tree_high", 0.4), "tree_high_kbps")
+	})
+}
+
+func BenchmarkFig10(b *testing.B) {
+	benchExperiment(b, "fig10", func(b *testing.B, r *bullet.ExperimentResult) {
+		b.ReportMetric(r.MeanTail("useful_total", 0.4), "nondisjoint_useful_kbps")
+	})
+}
+
+func BenchmarkFig11(b *testing.B) {
+	benchExperiment(b, "fig11", func(b *testing.B, r *bullet.ExperimentResult) {
+		b.ReportMetric(r.MeanTail("bullet_useful", 0.4), "bullet_kbps")
+		b.ReportMetric(r.MeanTail("gossip_useful", 0.4), "gossip_kbps")
+		b.ReportMetric(r.MeanTail("antientropy_useful", 0.4), "antientropy_kbps")
+	})
+}
+
+func BenchmarkFig12(b *testing.B) {
+	benchExperiment(b, "fig12", func(b *testing.B, r *bullet.ExperimentResult) {
+		b.ReportMetric(r.MeanTail("bullet_low", 0.4), "bullet_low_kbps")
+		b.ReportMetric(r.MeanTail("bottleneck_tree_low", 0.4), "tree_low_kbps")
+	})
+}
+
+func BenchmarkFig13(b *testing.B) {
+	benchExperiment(b, "fig13", func(b *testing.B, r *bullet.ExperimentResult) {
+		b.ReportMetric(r.Summary["useful_before_kbps"], "before_kbps")
+		b.ReportMetric(r.Summary["useful_after_kbps"], "after_kbps")
+	})
+}
+
+func BenchmarkFig14(b *testing.B) {
+	benchExperiment(b, "fig14", func(b *testing.B, r *bullet.ExperimentResult) {
+		b.ReportMetric(r.Summary["useful_before_kbps"], "before_kbps")
+		b.ReportMetric(r.Summary["useful_after_kbps"], "after_kbps")
+	})
+}
+
+func BenchmarkFig15(b *testing.B) {
+	benchExperiment(b, "fig15", func(b *testing.B, r *bullet.ExperimentResult) {
+		b.ReportMetric(r.MeanTail("bullet", 0.4), "bullet_kbps")
+		b.ReportMetric(r.MeanTail("good_tree", 0.4), "good_tree_kbps")
+		b.ReportMetric(r.MeanTail("worst_tree", 0.4), "worst_tree_kbps")
+	})
+}
+
+func BenchmarkOvercast(b *testing.B) {
+	benchExperiment(b, "overcast", func(b *testing.B, r *bullet.ExperimentResult) {
+		b.ReportMetric(r.Summary["overcast_to_offline_ratio"], "ratio")
+	})
+}
+
+// ---------------------------------------------------------------------
+// Ablation benches (design choices from DESIGN.md §4). Each runs the
+// Figure 7 configuration with one mechanism disabled and reports the
+// resulting useful bandwidth and duplicate ratio for comparison with
+// BenchmarkFig07.
+// ---------------------------------------------------------------------
+
+func benchAblation(b *testing.B, mutate func(*bullet.Config)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		w, err := bullet.NewWorld(bullet.WorldConfig{TotalNodes: 1500, Clients: 40, Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tree, err := w.RandomTree(5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := bullet.DefaultConfig(600)
+		cfg.MaxSenders, cfg.MaxReceivers = 4, 4
+		cfg.Start = 20 * bullet.Second
+		cfg.Duration = 130 * bullet.Second
+		mutate(&cfg)
+		_, col, err := w.DeployBullet(tree, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		w.Run(150 * bullet.Second)
+		b.ReportMetric(col.MeanOver(70*bullet.Second, 150*bullet.Second, bullet.Useful), "useful_kbps")
+		b.ReportMetric(col.DuplicateRatio(), "dup_ratio")
+	}
+}
+
+// BenchmarkAblationBaseline is the reference point for the ablations.
+func BenchmarkAblationBaseline(b *testing.B) {
+	benchAblation(b, func(c *bullet.Config) {})
+}
+
+// BenchmarkAblationNoDisjoint disables the Figure 5 disjoint send.
+func BenchmarkAblationNoDisjoint(b *testing.B) {
+	benchAblation(b, func(c *bullet.Config) { c.DisjointSend = false })
+}
+
+// BenchmarkAblationNoModRows disables sequence-matrix row partitioning.
+func BenchmarkAblationNoModRows(b *testing.B) {
+	benchAblation(b, func(c *bullet.Config) { c.ModRows = false })
+}
+
+// BenchmarkAblationRandomPeering replaces min-resemblance peer choice
+// with a uniformly random choice from the RanSub set.
+func BenchmarkAblationRandomPeering(b *testing.B) {
+	benchAblation(b, func(c *bullet.Config) { c.MinResemblance = false })
+}
+
+// BenchmarkAblationNoEviction disables §3.4 sender/receiver
+// re-evaluation.
+func BenchmarkAblationNoEviction(b *testing.B) {
+	benchAblation(b, func(c *bullet.Config) { c.Eviction = false })
+}
+
+// ---------------------------------------------------------------------
+// Micro-benchmarks of the substrates.
+// ---------------------------------------------------------------------
+
+func BenchmarkEmulatorPacketForwarding(b *testing.B) {
+	w, err := bullet.NewWorld(bullet.WorldConfig{TotalNodes: 1500, Clients: 40, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree, err := w.RandomTree(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	col, err := w.DeployStreamer(tree, bullet.StreamConfig{
+		RateKbps: 600, PacketSize: 1500, Start: 0, Duration: bullet.Time(b.N) * bullet.Second,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	w.Run(bullet.Time(b.N) * bullet.Second)
+	b.StopTimer()
+	_ = col
+}

@@ -1,0 +1,263 @@
+// Package bullet is the public API of this repository: a from-scratch
+// reproduction of "Bullet: High Bandwidth Data Dissemination Using an
+// Overlay Mesh" (Kostić, Rodriguez, Albrecht, Vahdat — SOSP 2003).
+//
+// Bullet layers a high-bandwidth recovery mesh over an arbitrary
+// overlay distribution tree: parents deliberately send disjoint data
+// subsets to their children (Figure 5 of the paper), RanSub
+// periodically delivers uniformly random subsets of global state so
+// nodes can locate peers with divergent content (compared via min-wise
+// summary tickets), and receivers install Bloom filters at several
+// peers to recover disjoint rows of the sequence space in parallel
+// over TCP-friendly (TFRC) flows.
+//
+// Everything runs inside a deterministic packet-level network emulator
+// (the stand-in for the paper's ModelNet testbed), so a run is a pure
+// function of its configuration and seed.
+//
+// The quickest start:
+//
+//	w, _ := bullet.NewWorld(bullet.WorldConfig{TotalNodes: 1500, Clients: 40, Seed: 1})
+//	tree, _ := w.RandomTree(5)
+//	cfg := bullet.DefaultConfig(600) // 600 Kbps stream
+//	cfg.Duration = 120 * bullet.Second
+//	sys, col, _ := w.DeployBullet(tree, cfg)
+//	w.Run(150 * bullet.Second)
+//	fmt.Println(col.MeanOver(60*bullet.Second, 150*bullet.Second, bullet.Useful), "Kbps")
+//	_ = sys
+//
+// See examples/ for runnable programs and cmd/bullet-sim for the
+// harness that regenerates every table and figure of the paper.
+package bullet
+
+import (
+	"math/rand"
+
+	"bullet/internal/core"
+	"bullet/internal/epidemic"
+	"bullet/internal/experiments"
+	"bullet/internal/metrics"
+	"bullet/internal/netem"
+	"bullet/internal/overlay"
+	"bullet/internal/sim"
+	"bullet/internal/streamer"
+	"bullet/internal/topology"
+)
+
+// Re-exported core types. The aliases make the whole system usable
+// through this single package.
+type (
+	// Config configures a Bullet deployment (see core.Config).
+	Config = core.Config
+	// System is a deployed Bullet overlay.
+	System = core.System
+	// Tree is a rooted overlay distribution tree.
+	Tree = overlay.Tree
+	// Collector accumulates per-node bandwidth measurements.
+	Collector = metrics.Collector
+	// Kind selects a measurement category (Useful, Raw, Parent, Duplicate).
+	Kind = metrics.Kind
+	// Time is a virtual timestamp; Duration a virtual time span.
+	Time = sim.Time
+	// Duration is a virtual time span in nanoseconds.
+	Duration = sim.Duration
+	// Graph is a generated physical topology.
+	Graph = topology.Graph
+	// Router answers fixed shortest-path queries over a Graph.
+	Router = topology.Router
+	// Network is the packet-level emulator.
+	Network = netem.Network
+	// BandwidthProfile selects Table 1 link bandwidth ranges.
+	BandwidthProfile = topology.BandwidthProfile
+	// LossProfile configures random link loss (§4.5).
+	LossProfile = topology.LossProfile
+	// StreamConfig configures plain tree streaming (the §4.2 baseline).
+	StreamConfig = streamer.Config
+	// GossipConfig configures the push-gossip baseline (§4.4).
+	GossipConfig = epidemic.GossipConfig
+	// AntiEntropyConfig configures streaming + anti-entropy (§4.4).
+	AntiEntropyConfig = epidemic.AntiEntropyConfig
+	// ExperimentResult is a reproduced table/figure.
+	ExperimentResult = experiments.Result
+	// ExperimentScale selects small/medium/paper experiment sizing.
+	ExperimentScale = experiments.Scale
+)
+
+// Measurement kinds.
+const (
+	Useful    = metrics.Useful
+	Raw       = metrics.Raw
+	Parent    = metrics.Parent
+	Duplicate = metrics.Duplicate
+)
+
+// Time units.
+const (
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Bandwidth profiles of Table 1.
+var (
+	LowBandwidth    = topology.LowBandwidth
+	MediumBandwidth = topology.MediumBandwidth
+	HighBandwidth   = topology.HighBandwidth
+	// PaperLoss is the §4.5 lossy-network profile.
+	PaperLoss = topology.PaperLoss
+	// NoLoss disables random link loss.
+	NoLoss = topology.NoLoss
+)
+
+// Experiment scales.
+var (
+	SmallScale  = experiments.Small
+	MediumScale = experiments.Medium
+	PaperScale  = experiments.PaperScale
+)
+
+// DefaultConfig returns the paper's Bullet parameters for a target
+// streaming rate in Kbps.
+func DefaultConfig(rateKbps float64) Config { return core.DefaultConfig(rateKbps) }
+
+// WorldConfig sizes an emulated world.
+type WorldConfig struct {
+	// TotalNodes is the approximate physical topology size.
+	TotalNodes int
+	// Clients is the number of overlay participants.
+	Clients int
+	// Bandwidth selects the Table 1 profile (default medium).
+	Bandwidth BandwidthProfile
+	// Loss selects the link loss model (default none).
+	Loss LossProfile
+	// Seed makes the whole world (topology, emulation, protocols)
+	// deterministic.
+	Seed int64
+}
+
+// World bundles an emulated network: engine, topology, router, netem.
+type World struct {
+	eng *sim.Engine
+	g   *topology.Graph
+	rt  *topology.Router
+	net *netem.Network
+}
+
+// NewWorld generates a topology and wraps it in a fresh emulator.
+func NewWorld(cfg WorldConfig) (*World, error) {
+	if cfg.TotalNodes == 0 {
+		cfg.TotalNodes = 1500
+	}
+	if cfg.Clients == 0 {
+		cfg.Clients = 40
+	}
+	if cfg.Bandwidth.Name == "" {
+		cfg.Bandwidth = topology.MediumBandwidth
+	}
+	tc := topology.Sized(cfg.TotalNodes, cfg.Clients, cfg.Bandwidth)
+	tc.Loss = cfg.Loss
+	tc.Seed = cfg.Seed
+	g, err := topology.Generate(tc)
+	if err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine(cfg.Seed)
+	rt := topology.NewRouter(g)
+	return &World{eng: eng, g: g, rt: rt, net: netem.New(eng, g, rt, netem.Config{})}, nil
+}
+
+// Graph returns the generated topology.
+func (w *World) Graph() *Graph { return w.g }
+
+// Router returns the route oracle.
+func (w *World) Router() *Router { return w.rt }
+
+// Network returns the emulator.
+func (w *World) Network() *Network { return w.net }
+
+// Participants returns the overlay attachment nodes.
+func (w *World) Participants() []int { return w.g.Clients }
+
+// Now returns the current virtual time.
+func (w *World) Now() Time { return w.eng.Now() }
+
+// Run advances virtual time to `until`.
+func (w *World) Run(until Time) { w.eng.Run(until) }
+
+// At schedules fn at virtual time t (e.g. to inject a failure).
+func (w *World) At(t Time, fn func()) { w.eng.At(t, fn) }
+
+// RandomTree builds a random degree-bounded tree over the participants
+// rooted at the first participant.
+func (w *World) RandomTree(maxDegree int) (*Tree, error) {
+	return overlay.Random(w.g.Clients, w.g.Clients[0], maxDegree,
+		rand.New(rand.NewSource(w.eng.Seed()^0x74726565)))
+}
+
+// BottleneckTree builds the paper's offline greedy bottleneck
+// bandwidth tree (§4.1) from global topology knowledge.
+func (w *World) BottleneckTree() (*Tree, error) {
+	return overlay.Bottleneck(w.rt, w.g.Clients, w.g.Clients[0], 1500, 0)
+}
+
+// OvercastTree builds an Overcast-like online bandwidth-optimized tree.
+func (w *World) OvercastTree(maxDegree int) (*Tree, error) {
+	return overlay.Overcast(w.rt, w.g.Clients, w.g.Clients[0], 1500, maxDegree)
+}
+
+// DeployBullet instantiates Bullet over the tree and returns the
+// system and its metrics collector.
+func (w *World) DeployBullet(tree *Tree, cfg Config) (*System, *Collector, error) {
+	col := metrics.NewCollector(sim.Second)
+	sys, err := core.Deploy(w.net, tree, cfg, col)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sys, col, nil
+}
+
+// DeployStreamer instantiates the plain tree-streaming baseline.
+func (w *World) DeployStreamer(tree *Tree, cfg StreamConfig) (*Collector, error) {
+	col := metrics.NewCollector(sim.Second)
+	if _, err := streamer.Deploy(w.net, tree, cfg, col); err != nil {
+		return nil, err
+	}
+	return col, nil
+}
+
+// DeployGossip instantiates the push-gossip baseline.
+func (w *World) DeployGossip(cfg GossipConfig) (*Collector, error) {
+	col := metrics.NewCollector(sim.Second)
+	if _, err := epidemic.DeployGossip(w.net, w.g.Clients, w.g.Clients[0], cfg, col); err != nil {
+		return nil, err
+	}
+	return col, nil
+}
+
+// DeployAntiEntropy instantiates streaming + anti-entropy recovery.
+func (w *World) DeployAntiEntropy(tree *Tree, cfg AntiEntropyConfig) (*Collector, error) {
+	col := metrics.NewCollector(sim.Second)
+	if _, err := epidemic.DeployAntiEntropy(w.net, tree, cfg, col); err != nil {
+		return nil, err
+	}
+	return col, nil
+}
+
+// RunExperiment executes one of the paper's table/figure reproductions
+// by id ("table1", "fig6" ... "fig15", "overcast").
+func RunExperiment(id string, scale ExperimentScale, seed int64) (*ExperimentResult, error) {
+	runner, ok := experiments.Registry[id]
+	if !ok {
+		return nil, &UnknownExperimentError{ID: id}
+	}
+	return runner(scale, seed)
+}
+
+// Experiments lists the available experiment ids.
+func Experiments() []string { return experiments.Names() }
+
+// UnknownExperimentError reports an unrecognized experiment id.
+type UnknownExperimentError struct{ ID string }
+
+func (e *UnknownExperimentError) Error() string {
+	return "bullet: unknown experiment " + e.ID
+}

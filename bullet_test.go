@@ -1,0 +1,118 @@
+package bullet_test
+
+import (
+	"testing"
+
+	"bullet"
+)
+
+func TestNewWorldDefaults(t *testing.T) {
+	w, err := bullet.NewWorld(bullet.WorldConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Participants()) != 40 {
+		t.Fatalf("default clients = %d, want 40", len(w.Participants()))
+	}
+	if w.Now() != 0 {
+		t.Fatal("fresh world clock nonzero")
+	}
+}
+
+func TestWorldDeterminism(t *testing.T) {
+	run := func() float64 {
+		w, err := bullet.NewWorld(bullet.WorldConfig{TotalNodes: 1000, Clients: 20, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree, err := w.RandomTree(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := bullet.DefaultConfig(400)
+		cfg.Duration = 60 * bullet.Second
+		cfg.MaxSenders, cfg.MaxReceivers = 4, 4
+		_, col, err := w.DeployBullet(tree, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Run(70 * bullet.Second)
+		return col.MeanOver(0, 70*bullet.Second, bullet.Useful)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("identical seeds diverged: %v vs %v", a, b)
+	}
+	if a == 0 {
+		t.Fatal("nothing delivered")
+	}
+}
+
+func TestRunExperimentUnknown(t *testing.T) {
+	_, err := bullet.RunExperiment("fig99", bullet.SmallScale, 1)
+	if err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if _, ok := err.(*bullet.UnknownExperimentError); !ok {
+		t.Fatalf("wrong error type %T", err)
+	}
+}
+
+func TestExperimentsListed(t *testing.T) {
+	ids := bullet.Experiments()
+	if len(ids) != 12 {
+		t.Fatalf("%d experiments, want 12", len(ids))
+	}
+}
+
+func TestFacadeTreeBuilders(t *testing.T) {
+	w, err := bullet.NewWorld(bullet.WorldConfig{TotalNodes: 800, Clients: 15, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, build := range map[string]func() (*bullet.Tree, error){
+		"random":     func() (*bullet.Tree, error) { return w.RandomTree(4) },
+		"bottleneck": func() (*bullet.Tree, error) { return w.BottleneckTree() },
+		"overcast":   func() (*bullet.Tree, error) { return w.OvercastTree(4) },
+	} {
+		tree, err := build()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := tree.Validate(w.Participants()); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	w, err := bullet.NewWorld(bullet.WorldConfig{TotalNodes: 800, Clients: 15, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.DeployGossip(bullet.GossipConfig{
+		RateKbps: 300, PacketSize: 1500, Duration: 30 * bullet.Second,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	w.Run(40 * bullet.Second)
+
+	w2, err := bullet.NewWorld(bullet.WorldConfig{TotalNodes: 800, Clients: 15, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := w2.RandomTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := w2.DeployAntiEntropy(tree, bullet.AntiEntropyConfig{
+		RateKbps: 300, PacketSize: 1500, Duration: 40 * bullet.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2.Run(60 * bullet.Second)
+	if col.Total(bullet.Useful) == 0 {
+		t.Fatal("anti-entropy delivered nothing")
+	}
+}

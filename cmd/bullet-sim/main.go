@@ -1,0 +1,88 @@
+// Command bullet-sim runs the paper's evaluation experiments in the
+// deterministic emulator and prints the series each figure plots.
+//
+// Usage:
+//
+//	bullet-sim -experiment fig7 -scale small -seed 42
+//	bullet-sim -experiment all -scale medium -out results/
+//	bullet-sim -list
+//
+// Scales: small (seconds of wall-clock), medium, paper (the paper's
+// 20,000-node topologies with 1000 participants; minutes to hours).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"bullet/internal/experiments"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "", "experiment id (table1, fig6..fig15, overcast, all)")
+		scaleName  = flag.String("scale", "small", "small | medium | paper")
+		seed       = flag.Int64("seed", 42, "master RNG seed; runs are a pure function of (experiment, scale, seed)")
+		outDir     = flag.String("out", "", "directory for per-experiment TSV files (default: stdout)")
+		list       = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range experiments.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if *experiment == "" {
+		fmt.Fprintln(os.Stderr, "bullet-sim: -experiment is required (or -list)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	scale, err := experiments.ScaleByName(*scaleName)
+	if err != nil {
+		fatal(err)
+	}
+	ids := []string{*experiment}
+	if *experiment == "all" {
+		ids = experiments.Names()
+	}
+	for _, id := range ids {
+		runner, ok := experiments.Registry[id]
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment %q (use -list)", id))
+		}
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "running %s at %s scale (seed %d)...\n", id, scale.Name, *seed)
+		res, err := runner(scale, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "%s finished in %v\n", id, time.Since(start).Round(time.Millisecond))
+		if *outDir == "" {
+			res.Print(os.Stdout)
+			continue
+		}
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+		path := filepath.Join(*outDir, fmt.Sprintf("%s-%s.tsv", id, scale.Name))
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		res.Print(f)
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bullet-sim:", err)
+	os.Exit(1)
+}

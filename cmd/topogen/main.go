@@ -1,0 +1,101 @@
+// Command topogen generates and inspects the transit-stub topologies
+// used by the experiments: node/link counts per class, bandwidth and
+// delay distributions, and optional full link dumps.
+//
+// Usage:
+//
+//	topogen -nodes 20000 -clients 1000 -bandwidth medium -seed 1
+//	topogen -nodes 5000 -clients 100 -bandwidth low -loss -dump links.tsv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"bullet/internal/topology"
+)
+
+func main() {
+	var (
+		nodes   = flag.Int("nodes", 20000, "approximate total topology nodes")
+		clients = flag.Int("clients", 1000, "overlay participant (client) nodes")
+		bwName  = flag.String("bandwidth", "medium", "low | medium | high (Table 1)")
+		loss    = flag.Bool("loss", false, "apply the paper's lossy-network profile (§4.5)")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		dump    = flag.String("dump", "", "write all links as TSV to this file")
+	)
+	flag.Parse()
+
+	bw, err := topology.ProfileByName(*bwName)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := topology.Sized(*nodes, *clients, bw)
+	cfg.Seed = *seed
+	if *loss {
+		cfg.Loss = topology.PaperLoss
+	}
+	g, err := topology.Generate(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("nodes\t%d\n", len(g.Nodes))
+	fmt.Printf("links\t%d\n", len(g.Links))
+	fmt.Printf("clients\t%d\n", len(g.Clients))
+	counts := g.LinkClassCounts()
+	classes := []topology.LinkClass{topology.ClientStub, topology.StubStub, topology.TransitStub, topology.TransitTransit}
+	for _, cls := range classes {
+		var kbps []float64
+		var lossy int
+		for i := range g.Links {
+			if g.Links[i].Class != cls {
+				continue
+			}
+			kbps = append(kbps, g.Links[i].Kbps())
+			if g.Links[i].Loss > 0 {
+				lossy++
+			}
+		}
+		sort.Float64s(kbps)
+		if len(kbps) == 0 {
+			continue
+		}
+		fmt.Printf("%s\tcount=%d\tmin=%.0fKbps\tmedian=%.0fKbps\tmax=%.0fKbps\tlossy=%d\n",
+			cls, counts[cls], kbps[0], kbps[len(kbps)/2], kbps[len(kbps)-1], lossy)
+	}
+
+	// Reachability spot check from the first client.
+	rt := topology.NewRouter(g)
+	unreachable := 0
+	for _, c := range g.Clients {
+		if !rt.Reachable(g.Clients[0], c) {
+			unreachable++
+		}
+	}
+	fmt.Printf("unreachable_clients\t%d\n", unreachable)
+
+	if *dump != "" {
+		f, err := os.Create(*dump)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(f, "id\ta\tb\tclass\tkbps\tdelay_ms\tloss")
+		for i := range g.Links {
+			l := &g.Links[i]
+			fmt.Fprintf(f, "%d\t%d\t%d\t%s\t%.0f\t%.2f\t%.5f\n",
+				l.ID, l.A, l.B, l.Class, l.Kbps(), float64(l.Delay)/1e6, l.Loss)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *dump)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "topogen:", err)
+	os.Exit(1)
+}

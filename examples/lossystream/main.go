@@ -1,0 +1,84 @@
+// Lossy streaming with worst-case node failure: reproduces the §4.5 /
+// §4.6 scenarios at example scale. A 600 Kbps stream runs over a
+// random tree on a lossy topology; halfway through, the root child
+// with the most descendants crashes. With RanSub failure detection
+// enabled the mesh absorbs the failure; the example prints the
+// bandwidth timeline of the failed node's descendants.
+//
+//	go run ./examples/lossystream
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bullet"
+)
+
+func main() {
+	w, err := bullet.NewWorld(bullet.WorldConfig{
+		TotalNodes: 1500,
+		Clients:    40,
+		Bandwidth:  bullet.MediumBandwidth,
+		Loss:       bullet.PaperLoss, // §4.5: overloaded links up to 10% loss
+		Seed:       7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tree, err := w.RandomTree(5)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := bullet.DefaultConfig(600)
+	cfg.Start = 20 * bullet.Second
+	cfg.Duration = 160 * bullet.Second
+	cfg.MaxSenders, cfg.MaxReceivers = 4, 4
+	sys, col, err := w.DeployBullet(tree, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pick the worst-case victim: the root child with most descendants.
+	victim, desc := -1, -1
+	for _, c := range tree.Children(tree.Root) {
+		if d := tree.Descendants(c); d > desc {
+			desc, victim = d, c
+		}
+	}
+	const failAt = 100 * bullet.Second
+	if victim >= 0 {
+		w.At(failAt, func() { sys.Fail(victim) })
+		fmt.Printf("will fail node %d (%d descendants) at t=%v s\n",
+			victim, desc, failAt.ToSeconds())
+	}
+
+	w.Run(200 * bullet.Second)
+
+	// Bandwidth of the failed subtree's descendants, decade by decade.
+	var descendants []int
+	for _, p := range tree.Participants {
+		if p != victim && tree.IsDescendant(victim, p) {
+			descendants = append(descendants, p)
+		}
+	}
+	fmt.Printf("\n%d descendants of the failed node; mean useful bandwidth:\n", len(descendants))
+	for t := bullet.Time(40 * bullet.Second); t < 200*bullet.Second; t += 20 * bullet.Second {
+		var sum float64
+		for _, d := range descendants {
+			series := col.NodeSeries(d, bullet.Useful)
+			for i := int(t / bullet.Second); i < int(t/bullet.Second)+20 && i < len(series); i++ {
+				sum += series[i].Kbps
+			}
+		}
+		mean := sum / float64(len(descendants)) / 20
+		marker := ""
+		if t <= failAt && failAt < t+20*bullet.Second {
+			marker = "   <- failure"
+		}
+		fmt.Printf("  t=%3.0f..%3.0fs  %6.0f Kbps%s\n", t.ToSeconds(), t.ToSeconds()+20, mean, marker)
+	}
+	fmt.Printf("\nwhole overlay steady-state after failure: %.0f Kbps mean per node\n",
+		col.MeanOver(failAt+20*bullet.Second, 200*bullet.Second, bullet.Useful))
+}

@@ -1,0 +1,65 @@
+// Tree builders head-to-head: builds the four overlay trees this
+// repository implements over the same topology — random, offline
+// greedy bottleneck (OMBT, §4.1), Overcast-like online, and the
+// handcrafted good/worst trees of §4.7 — then streams over each and
+// reports delivered bandwidth, tree depth, and the §4.1 bottleneck
+// objective value.
+//
+//	go run ./examples/treecompare
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bullet"
+	"bullet/internal/overlay"
+)
+
+func main() {
+	const rateKbps = 600
+
+	type entry struct {
+		name  string
+		build func(w *bullet.World) (*bullet.Tree, error)
+	}
+	entries := []entry{
+		{"random(deg<=5)", func(w *bullet.World) (*bullet.Tree, error) { return w.RandomTree(5) }},
+		{"bottleneck(OMBT)", func(w *bullet.World) (*bullet.Tree, error) { return w.BottleneckTree() }},
+		{"overcast-like", func(w *bullet.World) (*bullet.Tree, error) { return w.OvercastTree(6) }},
+		{"good(handcrafted)", func(w *bullet.World) (*bullet.Tree, error) {
+			return overlay.Handcrafted(w.Router(), w.Participants(), w.Participants()[0], 1500, 3, true)
+		}},
+		{"worst(handcrafted)", func(w *bullet.World) (*bullet.Tree, error) {
+			return overlay.Handcrafted(w.Router(), w.Participants(), w.Participants()[0], 1500, 3, false)
+		}},
+	}
+
+	fmt.Printf("%-20s %8s %6s %14s\n", "tree", "Kbps", "depth", "objective Kbps")
+	for _, e := range entries {
+		w, err := bullet.NewWorld(bullet.WorldConfig{
+			TotalNodes: 1500, Clients: 40,
+			Bandwidth: bullet.LowBandwidth, Seed: 21,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tree, err := e.build(w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		col, err := w.DeployStreamer(tree, bullet.StreamConfig{
+			RateKbps: rateKbps, PacketSize: 1500,
+			Start: 10 * bullet.Second, Duration: 110 * bullet.Second,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		w.Run(120 * bullet.Second)
+		obj := overlay.BottleneckRate(w.Router(), tree, 1500) * 8 / 1000
+		fmt.Printf("%-20s %8.0f %6d %14.0f\n",
+			e.name,
+			col.MeanOver(50*bullet.Second, 120*bullet.Second, bullet.Useful),
+			tree.Depth(), obj)
+	}
+}

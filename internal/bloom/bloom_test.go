@@ -1,0 +1,115 @@
+package bloom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(4096, 4)
+	for i := uint64(0); i < 200; i++ {
+		f.Add(i * 7)
+	}
+	for i := uint64(0); i < 200; i++ {
+		if !f.Contains(i * 7) {
+			t.Fatalf("false negative for %d", i*7)
+		}
+	}
+}
+
+func TestFalsePositiveRateNearPrediction(t *testing.T) {
+	n := 1000
+	f := NewForCapacity(n, 0.01)
+	for i := 0; i < n; i++ {
+		f.Add(uint64(i))
+	}
+	fp := 0
+	probes := 20000
+	for i := 0; i < probes; i++ {
+		if f.Contains(uint64(1_000_000 + i)) {
+			fp++
+		}
+	}
+	rate := float64(fp) / float64(probes)
+	if rate > 0.03 {
+		t.Fatalf("observed FP rate %.4f far above target 0.01", rate)
+	}
+	est := f.EstimatedFPRate()
+	if est <= 0 || est > 0.05 {
+		t.Fatalf("estimated FP rate %.4f implausible", est)
+	}
+}
+
+func TestReset(t *testing.T) {
+	f := New(1024, 3)
+	f.Add(42)
+	f.Reset()
+	if f.Contains(42) {
+		t.Fatal("contains after reset")
+	}
+	if f.N() != 0 {
+		t.Fatalf("N=%d after reset", f.N())
+	}
+	if f.EstimatedFPRate() != 0 {
+		t.Fatal("nonzero FP estimate on empty filter")
+	}
+}
+
+func TestClone(t *testing.T) {
+	f := New(1024, 3)
+	f.Add(1)
+	c := f.Clone()
+	c.Add(2)
+	if f.Contains(2) {
+		t.Fatal("clone shares storage with original")
+	}
+	if !c.Contains(1) || !c.Contains(2) {
+		t.Fatal("clone missing elements")
+	}
+}
+
+func TestNewForCapacitySizing(t *testing.T) {
+	f := NewForCapacity(1000, 0.01)
+	// Standard sizing: ~9.6 bits/element, ~7 hashes.
+	if f.M() < 9000 || f.M() > 11000 {
+		t.Fatalf("m=%d for n=1000 fp=1%%", f.M())
+	}
+	if f.K() < 5 || f.K() > 9 {
+		t.Fatalf("k=%d", f.K())
+	}
+	// Degenerate inputs fall back to sane defaults.
+	g := NewForCapacity(0, -1)
+	if g.M() < 64 || g.K() < 1 {
+		t.Fatalf("degenerate sizing m=%d k=%d", g.M(), g.K())
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	f := New(1024, 4)
+	if f.SizeBytes() != 1024/8+8 {
+		t.Fatalf("SizeBytes=%d", f.SizeBytes())
+	}
+}
+
+// Property: anything added is always found (no false negatives), for
+// arbitrary key sets and filter shapes.
+func TestNoFalseNegativesProperty(t *testing.T) {
+	f := func(keys []uint64, mRaw, kRaw uint8) bool {
+		m := 64 + int(mRaw)*8
+		k := 1 + int(kRaw)%8
+		fl := New(m, k)
+		for _, key := range keys {
+			fl.Add(key)
+		}
+		for _, key := range keys {
+			if !fl.Contains(key) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(5))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,274 @@
+package codec
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Tornado codes (§2.1, Luby et al., STOC '97): redundant check blocks
+// are XORs of selected source blocks arranged in a cascade of sparse
+// bipartite layers. Any (1+eps)k correctly received blocks reconstruct
+// the k source blocks with high probability, with encoding and
+// decoding linear in the block count — much faster than Reed-Solomon,
+// at the price of a fixed stretch factor n/k chosen in advance (the
+// limitation LT codes later removed).
+//
+// This implementation uses regular-degree layers: layer i has
+// k_i * layerRate check blocks, each the XOR of checkDegree randomly
+// chosen blocks of layer i-1, cascading until the last layer is small.
+
+// TornadoParams configures the cascade.
+type TornadoParams struct {
+	// LayerRate is each layer's size as a fraction of the previous
+	// layer (the stretch factor is 1/(1-LayerRate) as layers telescope).
+	LayerRate float64
+	// CheckDegree is how many previous-layer blocks each check XORs.
+	CheckDegree int
+	// MinLayer stops the cascade when a layer would be smaller.
+	MinLayer int
+}
+
+// DefaultTornadoParams gives a cascade with left degree ~3 (every
+// block of a layer participates in about three checks), which peels
+// reliably up to ~20% block loss at stretch ~1.6.
+var DefaultTornadoParams = TornadoParams{LayerRate: 0.33, CheckDegree: 9, MinLayer: 8}
+
+// TornadoCode is a deterministic cascade structure shared by encoder
+// and decoder (both sides derive it from (k, seed, params)).
+type TornadoCode struct {
+	k         int
+	blockSize int
+	// edges[c] lists the block indices (global numbering) XORed into
+	// check block c (global numbering, c >= k).
+	edges [][]int
+	// dups replicate the cascade's final layer (which no further
+	// checks protect): dups[i] is the global index duplicated by block
+	// k+len(edges)+i.
+	dups   []int
+	total  int // k + checks + duplicates
+	params TornadoParams
+}
+
+// NewTornadoCode builds the cascade for k source blocks of blockSize
+// bytes using the shared seed.
+func NewTornadoCode(k, blockSize int, seed int64, p TornadoParams) (*TornadoCode, error) {
+	if k <= 0 || blockSize <= 0 {
+		return nil, fmt.Errorf("codec: tornado k=%d blockSize=%d", k, blockSize)
+	}
+	if p.LayerRate <= 0 || p.LayerRate >= 1 {
+		p.LayerRate = DefaultTornadoParams.LayerRate
+	}
+	if p.CheckDegree < 2 {
+		p.CheckDegree = DefaultTornadoParams.CheckDegree
+	}
+	if p.MinLayer < 2 {
+		p.MinLayer = DefaultTornadoParams.MinLayer
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x746f726e))
+	tc := &TornadoCode{k: k, blockSize: blockSize, params: p}
+	layerStart, layerLen := 0, k
+	next := k // next global block index
+	var edges [][]int
+	for {
+		checks := int(float64(layerLen) * p.LayerRate)
+		if checks < p.MinLayer {
+			checks = p.MinLayer
+		}
+		if layerLen <= p.MinLayer {
+			break
+		}
+		// Regular on both sides: deal shuffled copies of the layer's
+		// blocks into the checks, so every block is covered by at
+		// least one check (a purely random assignment leaves a
+		// fraction of blocks uncovered and unrecoverable).
+		deg := p.CheckDegree
+		if deg > layerLen {
+			deg = layerLen
+		}
+		slots := make([]int, 0, checks*deg+layerLen)
+		for len(slots) < checks*deg {
+			for b := 0; b < layerLen && len(slots) < checks*deg; b++ {
+				slots = append(slots, layerStart+b)
+			}
+		}
+		rng.Shuffle(len(slots), func(i, j int) { slots[i], slots[j] = slots[j], slots[i] })
+		for c := 0; c < checks; c++ {
+			seen := make(map[int]struct{}, deg)
+			var e []int
+			for _, b := range slots[c*deg : (c+1)*deg] {
+				if _, dup := seen[b]; !dup {
+					seen[b] = struct{}{}
+					e = append(e, b)
+				}
+			}
+			edges = append(edges, e)
+		}
+		layerStart = next
+		layerLen = checks
+		next += checks
+	}
+	tc.edges = edges
+	// Protect the final (uncovered) layer by duplication.
+	for copies := 0; copies < 2; copies++ {
+		for b := 0; b < layerLen; b++ {
+			tc.dups = append(tc.dups, layerStart+b)
+		}
+	}
+	tc.total = k + len(edges) + len(tc.dups)
+	return tc, nil
+}
+
+// K returns the source block count.
+func (tc *TornadoCode) K() int { return tc.k }
+
+// N returns the total block count (source + checks): the stretch
+// factor is N()/K().
+func (tc *TornadoCode) N() int { return tc.total }
+
+// Encode produces all n blocks: the k source blocks followed by the
+// cascade's check blocks. data shorter than k*blockSize is zero-padded.
+func (tc *TornadoCode) Encode(data []byte) ([][]byte, error) {
+	if len(data) > tc.k*tc.blockSize {
+		return nil, fmt.Errorf("codec: payload %d exceeds k*blockSize %d", len(data), tc.k*tc.blockSize)
+	}
+	blocks := make([][]byte, tc.total)
+	for i := 0; i < tc.k; i++ {
+		b := make([]byte, tc.blockSize)
+		lo := i * tc.blockSize
+		if lo < len(data) {
+			copy(b, data[lo:min(len(data), lo+tc.blockSize)])
+		}
+		blocks[i] = b
+	}
+	for c, e := range tc.edges {
+		b := make([]byte, tc.blockSize)
+		for _, src := range e {
+			xorInto(b, blocks[src])
+		}
+		blocks[tc.k+c] = b
+	}
+	for i, src := range tc.dups {
+		b := make([]byte, tc.blockSize)
+		copy(b, blocks[src])
+		blocks[tc.k+len(tc.edges)+i] = b
+	}
+	return blocks, nil
+}
+
+// TornadoDecoder reconstructs the source blocks from any sufficiently
+// large subset of the n blocks, by iteratively solving check equations
+// with exactly one missing participant (peeling).
+type TornadoDecoder struct {
+	tc    *TornadoCode
+	have  [][]byte // by global index; nil = missing
+	nHave int
+	nSrc  int // recovered source blocks
+	// checkMissing[c] = number of missing participants of check c
+	// (participants = edges[c] plus the check block itself).
+	checkMissing []int
+	// waiters[b] = checks that reference block b.
+	waiters map[int][]int
+}
+
+// NewTornadoDecoder prepares a decoder over the shared cascade.
+func NewTornadoDecoder(tc *TornadoCode) *TornadoDecoder {
+	d := &TornadoDecoder{
+		tc:           tc,
+		have:         make([][]byte, tc.total),
+		checkMissing: make([]int, len(tc.edges)),
+		waiters:      make(map[int][]int),
+	}
+	for c, e := range tc.edges {
+		d.checkMissing[c] = len(e) + 1 // sources + the check block itself
+		for _, b := range e {
+			d.waiters[b] = append(d.waiters[b], c)
+		}
+		d.waiters[tc.k+c] = append(d.waiters[tc.k+c], c)
+	}
+	return d
+}
+
+// Done reports whether all k source blocks are recovered.
+func (d *TornadoDecoder) Done() bool { return d.nSrc == d.tc.k }
+
+// Received returns how many distinct blocks have been added or
+// recovered so far.
+func (d *TornadoDecoder) Received() int { return d.nHave }
+
+// Add supplies block idx (global numbering: 0..k-1 source, k..n-1
+// checks). Duplicate adds are ignored. Returns Done().
+func (d *TornadoDecoder) Add(idx int, data []byte) (bool, error) {
+	if idx < 0 || idx >= d.tc.total {
+		return d.Done(), fmt.Errorf("codec: block index %d out of [0,%d)", idx, d.tc.total)
+	}
+	if len(data) != d.tc.blockSize {
+		return d.Done(), fmt.Errorf("codec: block size %d, want %d", len(data), d.tc.blockSize)
+	}
+	if base := d.tc.k + len(d.tc.edges); idx >= base {
+		idx = d.tc.dups[idx-base] // duplicate: stands in for the original
+	}
+	d.supply(idx, append([]byte(nil), data...))
+	return d.Done(), nil
+}
+
+// supply records a block and peels any check equations that become
+// solvable (exactly one missing participant).
+func (d *TornadoDecoder) supply(idx int, data []byte) {
+	if d.have[idx] != nil {
+		return
+	}
+	d.have[idx] = data
+	d.nHave++
+	if idx < d.tc.k {
+		d.nSrc++
+	}
+	queue := []int{idx}
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		for _, c := range d.waiters[b] {
+			d.checkMissing[c]--
+			if d.checkMissing[c] != 1 {
+				continue
+			}
+			// Exactly one participant missing: solve for it.
+			missing := -1
+			x := make([]byte, d.tc.blockSize)
+			if d.have[d.tc.k+c] == nil {
+				missing = d.tc.k + c
+			} else {
+				xorInto(x, d.have[d.tc.k+c])
+			}
+			for _, src := range d.tc.edges[c] {
+				if d.have[src] == nil {
+					missing = src
+					continue
+				}
+				xorInto(x, d.have[src])
+			}
+			if missing < 0 || d.have[missing] != nil {
+				continue
+			}
+			d.have[missing] = x
+			d.nHave++
+			if missing < d.tc.k {
+				d.nSrc++
+			}
+			queue = append(queue, missing)
+		}
+		d.waiters[b] = nil
+	}
+}
+
+// Payload returns the reconstructed data (k*blockSize bytes; the
+// caller trims padding) once decoding is complete.
+func (d *TornadoDecoder) Payload() ([]byte, bool) {
+	if !d.Done() {
+		return nil, false
+	}
+	out := make([]byte, 0, d.tc.k*d.tc.blockSize)
+	for i := 0; i < d.tc.k; i++ {
+		out = append(out, d.have[i]...)
+	}
+	return out, true
+}

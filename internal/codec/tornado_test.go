@@ -1,0 +1,134 @@
+package codec
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestTornadoRoundTripInOrder(t *testing.T) {
+	data := make([]byte, 500*100)
+	rand.New(rand.NewSource(1)).Read(data)
+	tc, err := NewTornadoCode(500, 100, 7, DefaultTornadoParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := tc.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != tc.N() {
+		t.Fatalf("encode produced %d blocks, want %d", len(blocks), tc.N())
+	}
+	d := NewTornadoDecoder(tc)
+	for i, b := range blocks {
+		done, err := d.Add(i, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+	}
+	got, ok := d.Payload()
+	if !ok {
+		t.Fatal("not decoded after all blocks")
+	}
+	if !bytes.Equal(got[:len(data)], data) {
+		t.Fatal("payload mismatch")
+	}
+}
+
+func TestTornadoRecoversFromLosses(t *testing.T) {
+	// Drop a random 12% of blocks; the surviving (1+eps)k must
+	// suffice. (Production Tornado uses tuned irregular degree
+	// distributions that tolerate loss approaching the stretch bound;
+	// this regular cascade is comfortably sufficient for Bullet's
+	// moderate-loss regime.)
+	data := make([]byte, 1000*64)
+	rand.New(rand.NewSource(2)).Read(data)
+	tc, err := NewTornadoCode(1000, 64, 9, DefaultTornadoParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, _ := tc.Encode(data)
+	rng := rand.New(rand.NewSource(3))
+	perm := rng.Perm(len(blocks))
+	d := NewTornadoDecoder(tc)
+	received := 0
+	for _, i := range perm {
+		if rng.Float64() < 0.12 {
+			continue // lost
+		}
+		received++
+		if done, _ := d.Add(i, blocks[i]); done {
+			break
+		}
+	}
+	if !d.Done() {
+		t.Fatalf("decode failed with %d of %d blocks (k=%d)", received, len(blocks), tc.K())
+	}
+	got, _ := d.Payload()
+	if !bytes.Equal(got[:len(data)], data) {
+		t.Fatal("payload mismatch after loss recovery")
+	}
+}
+
+func TestTornadoStretchFactor(t *testing.T) {
+	tc, err := NewTornadoCode(1000, 32, 1, DefaultTornadoParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stretch := float64(tc.N()) / float64(tc.K())
+	if stretch < 1.2 || stretch > 2.0 {
+		t.Fatalf("stretch factor %.2f outside the expected cascade range", stretch)
+	}
+}
+
+func TestTornadoDeterministicCascade(t *testing.T) {
+	a, _ := NewTornadoCode(200, 16, 5, DefaultTornadoParams)
+	b, _ := NewTornadoCode(200, 16, 5, DefaultTornadoParams)
+	if a.N() != b.N() {
+		t.Fatal("cascades differ in size")
+	}
+	for c := range a.edges {
+		for j := range a.edges[c] {
+			if a.edges[c][j] != b.edges[c][j] {
+				t.Fatal("cascades differ in structure")
+			}
+		}
+	}
+}
+
+func TestTornadoDuplicatesAndErrors(t *testing.T) {
+	tc, _ := NewTornadoCode(50, 8, 11, DefaultTornadoParams)
+	data := make([]byte, 50*8)
+	rand.New(rand.NewSource(4)).Read(data)
+	blocks, _ := tc.Encode(data)
+	d := NewTornadoDecoder(tc)
+	if _, err := d.Add(-1, blocks[0]); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if _, err := d.Add(0, []byte{1}); err == nil {
+		t.Fatal("wrong block size accepted")
+	}
+	for i := 0; i < 10; i++ {
+		d.Add(0, blocks[0]) // duplicates are no-ops
+	}
+	if d.Received() != 1 {
+		t.Fatalf("duplicates counted: received=%d", d.Received())
+	}
+	if _, ok := d.Payload(); ok {
+		t.Fatal("payload available before decode completes")
+	}
+}
+
+func TestTornadoRejectsOversizedPayload(t *testing.T) {
+	tc, _ := NewTornadoCode(4, 8, 1, DefaultTornadoParams)
+	if _, err := tc.Encode(make([]byte, 4*8+1)); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+	if _, err := NewTornadoCode(0, 8, 1, DefaultTornadoParams); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}

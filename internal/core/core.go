@@ -1,0 +1,952 @@
+// Package core implements Bullet itself (§3 of the paper): an overlay
+// mesh layered on top of an arbitrary distribution tree. Each node
+// receives a parent stream chosen disjointly by the Figure 5 send
+// routine, locates peers holding missing data through RanSub summary
+// tickets, installs Bloom filters at those peers, and recovers
+// disjoint rows of the sequence matrix (Figure 4) from each of them in
+// parallel. Peering relationships are continuously re-evaluated
+// (§3.4): wasteful or useless senders and under-benefiting receivers
+// are dropped to make room for trial peers.
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"bullet/internal/bloom"
+	"bullet/internal/metrics"
+	"bullet/internal/netem"
+	"bullet/internal/overlay"
+	"bullet/internal/ransub"
+	"bullet/internal/sim"
+	"bullet/internal/sketch"
+	"bullet/internal/transport"
+	"bullet/internal/workset"
+)
+
+// Control message types exchanged between Bullet peers.
+
+// peerRequestMsg asks a node discovered via RanSub to become one of the
+// requester's senders; it carries the requester's current Bloom filter
+// and recovery range.
+type peerRequestMsg struct {
+	filter    *bloom.Filter
+	low, high uint64
+}
+
+type peerAcceptMsg struct{}
+type peerRejectMsg struct{}
+
+// filterRefreshMsg is the periodic receiver -> sender update: fresh
+// Bloom filter, recovery range, the sender's assigned matrix row, and
+// the receiver's total received bytes since the last refresh (used by
+// sender-side eviction).
+type filterRefreshMsg struct {
+	filter    *bloom.Filter
+	low, high uint64
+	mod, rows int
+	recvBytes uint64
+}
+
+// peerDropMsg tears down a peering. bySender is true when the sender
+// side drops one of its receivers, false when a receiver drops one of
+// its senders.
+type peerDropMsg struct {
+	bySender bool
+}
+
+const smallMsgSize = 16
+
+// childInfo is the per-child state of the Figure 5 disjoint send
+// routine.
+type childInfo struct {
+	node      int
+	flow      *transport.Flow
+	sf        float64       // sending factor from RanSub descendants
+	lf        float64       // limiting factor
+	sentOwned uint64        // packets owned this epoch
+	filter    *bloom.Filter // what we know the child already has
+}
+
+// senderInfo is receiver-side state about one of our sending peers.
+type senderInfo struct {
+	node        int
+	mod         int
+	usefulPkts  uint64
+	dupPkts     uint64
+	usefulBytes uint64
+}
+
+// recvPeerInfo is sender-side state about one of our receiving peers.
+// Candidates are kept in two queues: holes are sequences within the
+// receiver's advertised (Low, High) range — known gaps, served
+// immediately — while fresh are sequences beyond High, served in
+// arrival order once they pass the freshness gate.
+type recvPeerInfo struct {
+	node      int
+	flow      *transport.Flow
+	filter    *bloom.Filter
+	low, high uint64
+	mod, rows int
+	holes     []uint64
+	fresh     []uint64
+	sentSince map[uint64]sim.Time // recently sent: seq -> send time
+	sentBytes uint64              // bytes sent in current eval window
+	recvBytes uint64              // receiver's reported total, last refresh
+}
+
+// Node is one Bullet participant.
+type Node struct {
+	sys      *System
+	id       int
+	ep       *transport.Endpoint
+	parent   int
+	children map[int]*childInfo
+	childIDs []int
+	agent    *ransub.Agent
+	rng      *rand.Rand
+
+	ws       *workset.Set
+	ticket   *sketch.Ticket
+	filter   *bloom.Filter
+	arrivals map[uint64]sim.Time // when each held seq arrived (freshness gate)
+
+	senders   map[int]*senderInfo
+	receivers map[int]*recvPeerInfo
+	pending   int // node we sent a peerRequest to; -1 if none
+	lastSet   []ransub.Entry
+
+	epochPkts     uint64 // new packets this epoch (sizes lf delta)
+	lfDelta       float64
+	recvWindow    uint64 // all data bytes since last refresh
+	totalOwnDrops uint64 // packets no child could own
+
+	// Duplicate attribution diagnostics.
+	dupFromParent uint64
+	dupFromPeer   uint64
+	dupOther      uint64
+
+	// Pump diagnostics: relationships × ticks with nothing eligible to
+	// send vs. stopped by the TFRC budget.
+	pumpIdle    uint64
+	pumpBlocked uint64
+
+	refreshCount uint64 // refresh ticks seen, for rotation cadence
+}
+
+// System is a deployed Bullet overlay.
+type System struct {
+	cfg   Config
+	net   *netem.Network
+	eng   *sim.Engine
+	tree  *overlay.Tree
+	col   *metrics.Collector
+	perms *sketch.Permutations
+	Nodes map[int]*Node
+}
+
+// Deploy instantiates Bullet on every participant of tree, wires
+// RanSub, and schedules the source. Measurements go to col.
+func Deploy(net *netem.Network, tree *overlay.Tree, cfg Config, col *metrics.Collector) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sys := &System{
+		cfg:   cfg,
+		net:   net,
+		eng:   net.Engine(),
+		tree:  tree,
+		col:   col,
+		perms: sketch.NewPermutations(sketch.DefaultEntries, net.Engine().Seed()^0x6d77),
+		Nodes: make(map[int]*Node),
+	}
+	for _, id := range tree.Participants {
+		if err := sys.addNode(id); err != nil {
+			return nil, err
+		}
+	}
+	// Kick off RanSub at the root, then the stream.
+	root := sys.Nodes[tree.Root]
+	root.agent.Start()
+	sys.scheduleSource(root)
+	return sys, nil
+}
+
+// Tree returns the underlying distribution tree.
+func (sys *System) Tree() *overlay.Tree { return sys.tree }
+
+// Collector returns the metrics sink.
+func (sys *System) Collector() *metrics.Collector { return sys.col }
+
+func (sys *System) addNode(id int) error {
+	parent := -1
+	if p, ok := sys.tree.Parent(id); ok {
+		parent = p
+	}
+	ep := transport.NewEndpoint(sys.net, id)
+	n := &Node{
+		sys:       sys,
+		id:        id,
+		ep:        ep,
+		parent:    parent,
+		children:  make(map[int]*childInfo),
+		childIDs:  append([]int(nil), sys.tree.Children(id)...),
+		rng:       sys.eng.RNG(int64(id)*7919 + 0x42756c6c),
+		ws:        workset.New(),
+		ticket:    sketch.NewTicket(sys.perms),
+		filter:    bloom.NewForCapacity(int(sys.cfg.RecoveryWindow), sys.cfg.BloomFPRate),
+		arrivals:  make(map[uint64]sim.Time),
+		senders:   make(map[int]*senderInfo),
+		receivers: make(map[int]*recvPeerInfo),
+		pending:   -1,
+		lfDelta:   0.01,
+	}
+	sys.col.Track(id)
+	for _, c := range n.childIDs {
+		f, err := ep.OpenFlow(c, sys.cfg.PacketSize)
+		if err != nil {
+			return err
+		}
+		f.TraceEvery = sys.cfg.TraceEvery
+		n.children[c] = &childInfo{node: c, flow: f, lf: 1.0,
+			filter: bloom.NewForCapacity(4096, 0.01)}
+	}
+	n.agent = ransub.NewAgent(ep, sys.cfg.RanSub, parent, n.childIDs)
+	n.agent.TicketFn = func() *sketch.Ticket { return n.ticket }
+	n.agent.OnDistribute = n.onDistribute
+	ep.OnData(n.onData)
+	ep.OnControl(n.onControl)
+	// Periodic maintenance, de-phased per node to avoid lockstep.
+	jitter := sim.Duration(n.rng.Int63n(int64(sys.cfg.FilterRefresh)))
+	sys.eng.At(sys.cfg.FilterRefresh+jitter, func() { n.refreshTick() })
+	sys.eng.At(sys.cfg.EvalInterval+jitter, func() { n.evalTick() })
+	sys.eng.At(sys.cfg.PumpInterval+jitter%sys.cfg.PumpInterval, func() { n.pumpTick() })
+	sys.Nodes[id] = n
+	return nil
+}
+
+// scheduleSource drives the root's packet generation.
+func (sys *System) scheduleSource(root *Node) {
+	bytesPerSec := sys.cfg.StreamRateKbps * 1000 / 8
+	interval := sim.Duration(float64(sys.cfg.PacketSize) / bytesPerSec * float64(sim.Second))
+	if interval < sim.Microsecond {
+		interval = sim.Microsecond
+	}
+	end := sys.cfg.Start + sys.cfg.Duration
+	var seq uint64
+	var pump func()
+	pump = func() {
+		if sys.eng.Now() >= end || root.ep.Failed() {
+			return
+		}
+		root.ingest(seq, sys.cfg.PacketSize)
+		seq++
+		sys.eng.After(interval, pump)
+	}
+	sys.eng.At(sys.cfg.Start, pump)
+}
+
+// Fail crashes node id (endpoint down, all timers inert).
+func (sys *System) Fail(id int) {
+	if n, ok := sys.Nodes[id]; ok {
+		n.ep.Fail()
+	}
+}
+
+// ControlOverheadKbps returns the mean per-node control send rate over
+// the elapsed run.
+func (sys *System) ControlOverheadKbps() float64 {
+	secs := sys.eng.Now().ToSeconds()
+	if secs == 0 || len(sys.Nodes) == 0 {
+		return 0
+	}
+	var total uint64
+	for _, n := range sys.Nodes {
+		_, out := n.ep.ControlBytes()
+		total += out
+	}
+	return float64(total) * 8 / 1000 / secs / float64(len(sys.Nodes))
+}
+
+// MeanSenders returns the average current sender-list size (mesh
+// health diagnostic).
+func (sys *System) MeanSenders() float64 {
+	if len(sys.Nodes) == 0 {
+		return 0
+	}
+	var total int
+	for _, n := range sys.Nodes {
+		total += len(n.senders)
+	}
+	return float64(total) / float64(len(sys.Nodes))
+}
+
+// ---------------------------------------------------------------------
+// Data path
+// ---------------------------------------------------------------------
+
+// onData handles a data packet from the parent stream or a peer.
+func (n *Node) onData(from int, seq uint64, size int) {
+	now := n.sys.eng.Now()
+	col := n.sys.col
+	col.Add(now, n.id, metrics.Raw, size)
+	if from == n.parent {
+		col.Add(now, n.id, metrics.Parent, size)
+	}
+	n.recvWindow += uint64(size)
+	si := n.senders[from]
+	if n.ws.Contains(seq) {
+		col.Add(now, n.id, metrics.Duplicate, size)
+		switch {
+		case from == n.parent:
+			n.dupFromParent++
+		case si != nil:
+			n.dupFromPeer++
+		default:
+			n.dupOther++
+		}
+		if si != nil {
+			si.dupPkts++
+		}
+		return
+	}
+	if si != nil {
+		si.usefulPkts++
+		si.usefulBytes += uint64(size)
+	}
+	col.Add(now, n.id, metrics.Useful, size)
+	// Every first-copy packet — from the parent stream or recovered
+	// from a peer — is relayed through the Figure 5 routine: a parent
+	// that recovers a packet serves it to its children (§3.2).
+	n.ingest(seq, size)
+}
+
+// ingest records a newly received (or source-generated) packet and
+// propagates it: disjoint send to children, candidate queues of peers.
+func (n *Node) ingest(seq uint64, size int) {
+	n.ws.Add(seq)
+	n.ticket.Add(seq)
+	n.filter.Add(seq)
+	n.arrivals[seq] = n.sys.eng.Now()
+	n.epochPkts++
+	n.feedReceivers(seq)
+	n.disjointSend(seq, size)
+}
+
+// feedReceivers enqueues seq at every receiving peer whose row and
+// filter admit it.
+func (n *Node) feedReceivers(seq uint64) {
+	for _, rf := range n.receivers {
+		if seq < rf.low {
+			continue
+		}
+		if rf.rows > 1 && workset.RowOf(seq, rf.rows) != rf.mod {
+			continue
+		}
+		if rf.filter != nil && rf.filter.Contains(seq) {
+			continue
+		}
+		if seq <= rf.high {
+			rf.holes = append(rf.holes, seq)
+		} else {
+			rf.fresh = append(rf.fresh, seq)
+		}
+	}
+}
+
+// disjointSend is the Figure 5 send routine: assign ownership of the
+// packet to the child whose sent proportion is farthest below its
+// sending factor, then offer the packet to other children according to
+// their limiting factors, transferring ownership if the owner's
+// transport refuses.
+func (n *Node) disjointSend(seq uint64, size int) {
+	if len(n.childIDs) == 0 {
+		return
+	}
+	if !n.sys.cfg.DisjointSend {
+		// Figure 10 ablation: attempt to send everything to everyone.
+		for _, cid := range n.childIDs {
+			ci := n.children[cid]
+			if ci.filter.Contains(seq) {
+				continue
+			}
+			if ci.flow.TrySend(seq, size) {
+				ci.filter.Add(seq)
+			}
+		}
+		return
+	}
+	var total uint64
+	for _, cid := range n.childIDs {
+		total += n.children[cid].sentOwned
+	}
+	// Owner: maximize sf_i - sent_i/total.
+	var owner *childInfo
+	best := math.Inf(-1)
+	for _, cid := range n.childIDs {
+		ci := n.children[cid]
+		prop := 0.0
+		if total > 0 {
+			prop = float64(ci.sentOwned) / float64(total)
+		}
+		if margin := ci.sf - prop; margin > best {
+			best = margin
+			owner = ci
+		}
+	}
+	sent := false
+	if owner != nil && owner.flow.TrySend(seq, size) {
+		owner.sentOwned++
+		owner.filter.Add(seq)
+		sent = true
+	}
+	for _, cid := range n.childIDs {
+		ci := n.children[cid]
+		if ci == owner && sent {
+			continue
+		}
+		if ci.filter.Contains(seq) {
+			continue
+		}
+		should := false
+		if !sent {
+			should = true // ownership transfer
+		} else {
+			// Test for available bandwidth: forward the lf_i fraction
+			// of the stream deterministically by sequence number.
+			interval := uint64(math.Round(1 / ci.lf))
+			if interval < 1 {
+				interval = 1
+			}
+			if seq%interval == 0 {
+				should = true
+			}
+		}
+		if !should {
+			continue
+		}
+		if ci.flow.TrySend(seq, size) {
+			if !sent {
+				ci.sentOwned++ // received ownership
+			} else {
+				ci.lf = math.Min(1, ci.lf+n.lfDelta)
+			}
+			ci.filter.Add(seq)
+			sent = true
+		} else if sent {
+			ci.lf = math.Max(n.lfDelta, ci.lf-n.lfDelta)
+		}
+	}
+	if !sent {
+		// No child could own the packet: it stays recoverable from this
+		// node's working set (served to peers on request).
+		n.totalOwnDrops++
+	}
+}
+
+// ---------------------------------------------------------------------
+// RanSub epoch handling and peer discovery
+// ---------------------------------------------------------------------
+
+func (n *Node) onDistribute(epoch int, set []ransub.Entry) {
+	n.lastSet = set
+	n.epochHousekeeping()
+	n.maybeRequestPeer()
+}
+
+// epochHousekeeping updates sending factors from fresh descendant
+// counts and resets per-epoch ownership proportions.
+func (n *Node) epochHousekeeping() {
+	if len(n.childIDs) > 0 {
+		total := 0
+		for _, cid := range n.childIDs {
+			total += n.agent.ChildSubtreeSize(cid)
+		}
+		for _, cid := range n.childIDs {
+			ci := n.children[cid]
+			if total > 0 {
+				ci.sf = float64(n.agent.ChildSubtreeSize(cid)) / float64(total)
+			} else {
+				ci.sf = 1 / float64(len(n.childIDs))
+			}
+			ci.sentOwned = 0
+			ci.filter.Reset()
+		}
+	}
+	// "One more packet per epoch": scale lf adjustments to the epoch's
+	// traffic volume.
+	if n.epochPkts > 0 {
+		n.lfDelta = 1 / math.Max(20, float64(n.epochPkts))
+	}
+	n.epochPkts = 0
+}
+
+// maybeRequestPeer fills a free sender slot with the best candidate of
+// the latest RanSub set.
+func (n *Node) maybeRequestPeer() {
+	if len(n.senders) >= n.sys.cfg.MaxSenders || n.pending >= 0 || len(n.lastSet) == 0 {
+		return
+	}
+	var candidates []ransub.Entry
+	for _, e := range n.lastSet {
+		if e.Node == n.id || e.Node == n.parent {
+			continue
+		}
+		if _, dup := n.senders[e.Node]; dup {
+			continue
+		}
+		candidates = append(candidates, e)
+	}
+	if len(candidates) == 0 {
+		return
+	}
+	var chosen ransub.Entry
+	if n.sys.cfg.MinResemblance {
+		best := math.Inf(1)
+		for _, e := range candidates {
+			r := 1.0
+			if e.Ticket != nil {
+				r = sketch.Resemblance(n.ticket, e.Ticket)
+			}
+			if r < best {
+				best = r
+				chosen = e
+			}
+		}
+	} else {
+		chosen = candidates[n.rng.Intn(len(candidates))]
+	}
+	n.pending = chosen.Node
+	msg := &peerRequestMsg{filter: n.filter.Clone(), low: n.ws.Low(), high: n.ws.High()}
+	n.ep.SendControl(chosen.Node, msg, n.filter.SizeBytes()+24)
+}
+
+// ---------------------------------------------------------------------
+// Control plane
+// ---------------------------------------------------------------------
+
+func (n *Node) onControl(from int, payload any, size int) {
+	if n.agent.HandleControl(from, payload) {
+		return
+	}
+	switch m := payload.(type) {
+	case *peerRequestMsg:
+		n.onPeerRequest(from, m)
+	case *peerAcceptMsg:
+		n.onPeerAccept(from)
+	case *peerRejectMsg:
+		if n.pending == from {
+			n.pending = -1
+		}
+	case *filterRefreshMsg:
+		n.onFilterRefresh(from, m)
+	case *peerDropMsg:
+		n.onPeerDrop(from, m)
+	}
+}
+
+// onPeerRequest: a prospective receiver asks us to serve it.
+func (n *Node) onPeerRequest(from int, m *peerRequestMsg) {
+	if _, exists := n.receivers[from]; exists {
+		n.ep.SendControl(from, &peerAcceptMsg{}, smallMsgSize)
+		return
+	}
+	if len(n.receivers) >= n.sys.cfg.MaxReceivers || from == n.id {
+		n.ep.SendControl(from, &peerRejectMsg{}, smallMsgSize)
+		return
+	}
+	flow, err := n.ep.OpenFlow(from, n.sys.cfg.PacketSize)
+	if err != nil {
+		n.ep.SendControl(from, &peerRejectMsg{}, smallMsgSize)
+		return
+	}
+	flow.TraceEvery = n.sys.cfg.TraceEvery
+	rf := &recvPeerInfo{
+		node: from, flow: flow, filter: m.filter,
+		low: m.low, high: m.high, rows: 1, mod: 0,
+		sentSince: make(map[uint64]sim.Time),
+	}
+	n.receivers[from] = rf
+	n.rebuildQueue(rf)
+	n.ep.SendControl(from, &peerAcceptMsg{}, smallMsgSize)
+}
+
+// onPeerAccept: a candidate agreed to serve us.
+func (n *Node) onPeerAccept(from int) {
+	if n.pending == from {
+		n.pending = -1
+	}
+	if _, dup := n.senders[from]; dup {
+		return
+	}
+	if len(n.senders) >= n.sys.cfg.MaxSenders {
+		// Filled up while the request was in flight.
+		n.ep.SendControl(from, &peerDropMsg{bySender: false}, smallMsgSize)
+		return
+	}
+	n.senders[from] = &senderInfo{node: from, mod: -1} // gets a free row
+	n.reassignRows()
+	n.sendRefreshes()
+}
+
+// reassignRows keeps each sender on a distinct row of the Figure 4
+// sequence matrix (s = current sender count) while changing as few
+// existing assignments as possible, so membership churn does not
+// momentarily overlap every sender's row.
+func (n *Node) reassignRows() {
+	s := len(n.senders)
+	ids := make([]int, 0, s)
+	for id := range n.senders {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	used := make([]bool, s)
+	var conflicted []int
+	for _, id := range ids {
+		m := n.senders[id].mod
+		if m >= 0 && m < s && !used[m] {
+			used[m] = true
+		} else {
+			conflicted = append(conflicted, id)
+		}
+	}
+	next := 0
+	for _, id := range conflicted {
+		for used[next] {
+			next++
+		}
+		n.senders[id].mod = next
+		used[next] = true
+	}
+}
+
+// sendRefreshes pushes a fresh filter/range/row assignment to every
+// sender.
+func (n *Node) sendRefreshes() {
+	rows := len(n.senders)
+	if !n.sys.cfg.ModRows {
+		rows = 1
+	}
+	for _, id := range n.senderIDs() {
+		mod := n.senders[id].mod
+		if !n.sys.cfg.ModRows {
+			mod = 0
+		}
+		msg := &filterRefreshMsg{
+			filter: n.filter.Clone(),
+			low:    n.ws.Low(), high: n.ws.High(),
+			mod: mod, rows: rows,
+			recvBytes: n.recvWindow,
+		}
+		n.ep.SendControl(id, msg, n.filter.SizeBytes()+32)
+	}
+}
+
+// onFilterRefresh: one of our receivers updated its filter and range.
+func (n *Node) onFilterRefresh(from int, m *filterRefreshMsg) {
+	rf, ok := n.receivers[from]
+	if !ok {
+		return
+	}
+	rowChanged := m.mod != rf.mod || m.rows != rf.rows
+	rf.filter = m.filter
+	rf.low, rf.high = m.low, m.high
+	rf.mod, rf.rows = m.mod, m.rows
+	rf.recvBytes = m.recvBytes
+	// Forget suppressed sends old enough that the receiver's fresh
+	// filter has had time to reflect them; keep recent (in-flight)
+	// entries so a refresh does not trigger resends. Lost peer packets
+	// therefore retry after about one refresh cycle.
+	cutoff := n.sys.eng.Now() - 2*sim.Second
+	for seq, at := range rf.sentSince {
+		if at < cutoff {
+			delete(rf.sentSince, seq)
+		}
+	}
+	n.rebuildQueue(rf)
+	if rowChanged {
+		// Row handoff: the filter in this refresh cannot reflect what
+		// the previous row holder still has in flight, so serving the
+		// inherited holes now would duplicate them. Defer them to the
+		// next refresh, whose filter will be conclusive.
+		rf.holes = rf.holes[:0]
+	}
+}
+
+// rebuildQueue rescans the working set for packets the receiver is
+// missing in its row and range.
+func (n *Node) rebuildQueue(rf *recvPeerInfo) {
+	rf.holes = rf.holes[:0]
+	rf.fresh = rf.fresh[:0]
+	lo := rf.low
+	hi := n.ws.High()
+	n.ws.ForRange(lo, hi, func(seq uint64) bool {
+		if rf.rows > 1 && workset.RowOf(seq, rf.rows) != rf.mod {
+			return true
+		}
+		if rf.filter != nil && rf.filter.Contains(seq) {
+			return true
+		}
+		if _, dup := rf.sentSince[seq]; dup {
+			return true
+		}
+		if seq <= rf.high {
+			rf.holes = append(rf.holes, seq)
+		} else {
+			rf.fresh = append(rf.fresh, seq)
+		}
+		return true
+	})
+}
+
+// onPeerDrop tears down one side of a peering.
+func (n *Node) onPeerDrop(from int, m *peerDropMsg) {
+	if m.bySender {
+		// Our sender dropped us.
+		if _, ok := n.senders[from]; ok {
+			delete(n.senders, from)
+			n.reassignRows()
+			n.sendRefreshes()
+		}
+		return
+	}
+	// Our receiver dropped us.
+	if rf, ok := n.receivers[from]; ok {
+		rf.flow.Close()
+		delete(n.receivers, from)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Periodic maintenance
+// ---------------------------------------------------------------------
+
+// receiverIDs returns receiver peer ids in sorted order. Shared
+// emulated resources (link queues, budgets) make iteration order
+// behaviourally significant, so map order must never leak into the
+// simulation: runs are a pure function of (config, seed).
+func (n *Node) receiverIDs() []int {
+	ids := make([]int, 0, len(n.receivers))
+	for id := range n.receivers {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// senderIDs returns sender peer ids in sorted order (see receiverIDs).
+func (n *Node) senderIDs() []int {
+	ids := make([]int, 0, len(n.senders))
+	for id := range n.senders {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// pumpTick drains each receiver's candidate queue within the flow's
+// TFRC budget.
+func (n *Node) pumpTick() {
+	if n.ep.Failed() {
+		return
+	}
+	for _, id := range n.receiverIDs() {
+		n.pumpReceiver(n.receivers[id])
+	}
+	n.sys.eng.After(n.sys.cfg.PumpInterval, func() { n.pumpTick() })
+}
+
+func (n *Node) pumpReceiver(rf *recvPeerInfo) {
+	if len(rf.holes) == 0 && len(rf.fresh) == 0 {
+		n.pumpIdle++
+	}
+	// Known holes first: the receiver has told us it lacks these.
+	if !n.drainQueue(rf, &rf.holes, false) {
+		n.pumpBlocked++
+		return
+	}
+	// Then fresh data, in arrival order, behind the freshness gate.
+	if !n.drainQueue(rf, &rf.fresh, true) {
+		n.pumpBlocked++
+	}
+}
+
+// drainQueue serves candidates from q within the flow budget. It
+// returns false when the budget ran out.
+func (n *Node) drainQueue(rf *recvPeerInfo, q *[]uint64, gated bool) bool {
+	size := n.sys.cfg.PacketSize
+	now := n.sys.eng.Now()
+	for len(*q) > 0 {
+		seq := (*q)[0]
+		if !n.ws.Held(seq) {
+			*q = (*q)[1:]
+			continue
+		}
+		// Freshness gate: packets beyond the receiver's advertised High
+		// are served only once the parent stream has had its chance.
+		// The fresh queue is in arrival order, so the tail is fresher.
+		if gated && now-n.arrivals[seq] < n.sys.cfg.FreshnessDelay {
+			return true
+		}
+		if _, dup := rf.sentSince[seq]; dup {
+			*q = (*q)[1:]
+			continue
+		}
+		if rf.filter != nil && rf.filter.Contains(seq) {
+			*q = (*q)[1:]
+			continue
+		}
+		if !rf.flow.TrySend(seq, size) {
+			return false // out of budget; keep the queue
+		}
+		*q = (*q)[1:]
+		rf.sentSince[seq] = now
+		rf.sentBytes += uint64(size)
+	}
+	return true
+}
+
+// rotateRows advances every sender's matrix row by one (Figure 4-b:
+// "the receiver requests different rows from senders" as the range
+// advances). Rotation keeps rows disjoint at any instant while letting
+// holes left by a weak or poorly-stocked sender be covered by a
+// different sender in the next cycle — without it, a node's coverage
+// of row i could never exceed its single row-i sender's coverage.
+func (n *Node) rotateRows() {
+	s := len(n.senders)
+	if s <= 1 {
+		return
+	}
+	for _, si := range n.senders {
+		si.mod = (si.mod + 1) % s
+	}
+}
+
+// refreshTick slides the recovery window, rebuilds the filter and
+// ticket, rotates row assignments, and updates all senders.
+func (n *Node) refreshTick() {
+	if n.ep.Failed() {
+		return
+	}
+	n.slideWindow()
+	n.refreshCount++
+	// Rotate on alternate refreshes: often enough that holes left by a
+	// weak sender reach a different sender well within the recovery
+	// window, rare enough that in-flight packets from the previous
+	// assignment seldom collide with the new one.
+	if n.sys.cfg.ModRows && n.refreshCount%2 == 0 {
+		n.rotateRows()
+	}
+	n.sendRefreshes()
+	n.recvWindow = 0
+	n.sys.eng.After(n.sys.cfg.FilterRefresh, func() { n.refreshTick() })
+}
+
+// slideWindow trims the working set to the recovery window and
+// rebuilds the Bloom filter and summary ticket over the survivors.
+func (n *Node) slideWindow() {
+	if n.ws.Empty() {
+		return
+	}
+	hi := n.ws.High()
+	if hi > n.sys.cfg.RecoveryWindow {
+		n.ws.TrimBelow(hi - n.sys.cfg.RecoveryWindow)
+		for seq := range n.arrivals {
+			if seq < n.ws.Low() {
+				delete(n.arrivals, seq)
+			}
+		}
+	}
+	n.filter.Reset()
+	n.ticket.Reset()
+	n.ws.ForRange(n.ws.Low(), hi, func(seq uint64) bool {
+		n.filter.Add(seq)
+		n.ticket.Add(seq)
+		return true
+	})
+}
+
+// evalTick is §3.4: re-evaluate senders (drop wasteful or least useful)
+// and receivers (drop the one benefiting least).
+func (n *Node) evalTick() {
+	if n.ep.Failed() {
+		return
+	}
+	if n.sys.cfg.Eviction {
+		n.evalSenders()
+		n.evalReceivers()
+	}
+	n.sys.eng.After(n.sys.cfg.EvalInterval, func() { n.evalTick() })
+}
+
+const minEvalSample = 20 // packets before a sender can be judged
+
+func (n *Node) evalSenders() {
+	if len(n.senders) == 0 {
+		return
+	}
+	var drop *senderInfo
+	// First: any sender above the duplicate threshold (ties broken by
+	// node id for determinism).
+	for _, id := range n.senderIDs() {
+		si := n.senders[id]
+		total := si.usefulPkts + si.dupPkts
+		if total >= minEvalSample &&
+			float64(si.dupPkts)/float64(total) > n.sys.cfg.DuplicateThreshold {
+			if drop == nil || si.dupPkts > drop.dupPkts {
+				drop = si
+			}
+		}
+	}
+	// Otherwise, when the list is full, the least useful sender makes
+	// room for a trial slot.
+	if drop == nil && len(n.senders) >= n.sys.cfg.MaxSenders {
+		for _, id := range n.senderIDs() {
+			si := n.senders[id]
+			if drop == nil || si.usefulBytes < drop.usefulBytes {
+				drop = si
+			}
+		}
+	}
+	if drop != nil {
+		delete(n.senders, drop.node)
+		n.ep.SendControl(drop.node, &peerDropMsg{bySender: false}, smallMsgSize)
+		n.reassignRows()
+		n.sendRefreshes()
+	}
+	for _, si := range n.senders {
+		si.usefulPkts, si.dupPkts, si.usefulBytes = 0, 0, 0
+	}
+	// A freed slot is refilled from the most recent RanSub set.
+	n.maybeRequestPeer()
+}
+
+func (n *Node) evalReceivers() {
+	if len(n.receivers) < n.sys.cfg.MaxReceivers {
+		for _, rf := range n.receivers {
+			rf.sentBytes = 0
+		}
+		return
+	}
+	// Drop the receiver acquiring the least portion of its bandwidth
+	// through us (ties broken by node id for determinism).
+	var drop *recvPeerInfo
+	worst := math.Inf(1)
+	for _, id := range n.receiverIDs() {
+		rf := n.receivers[id]
+		portion := float64(rf.sentBytes) / math.Max(1, float64(rf.recvBytes))
+		if portion < worst {
+			worst = portion
+			drop = rf
+		}
+	}
+	if drop != nil {
+		drop.flow.Close()
+		delete(n.receivers, drop.node)
+		n.ep.SendControl(drop.node, &peerDropMsg{bySender: true}, smallMsgSize)
+	}
+	for _, rf := range n.receivers {
+		rf.sentBytes = 0
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"bullet/internal/metrics"
+	"bullet/internal/sim"
+	"bullet/internal/topology"
+)
+
+// TestDebugDump is a diagnostic, not an assertion; run with -run Debug -v.
+func TestDebugDump(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic only")
+	}
+	for _, disjoint := range []bool{true, false} {
+		w := buildWorld(t, 5, 40, topology.MediumBandwidth, topology.NoLoss)
+		cfg := DefaultConfig(600)
+		cfg.MaxSenders = 4
+		cfg.MaxReceivers = 4
+		cfg.Start = 20 * sim.Second
+		cfg.Duration = 160 * sim.Second
+		cfg.DisjointSend = disjoint
+		col := metrics.NewCollector(sim.Second)
+		sys, err := Deploy(w.net, w.tree, cfg, col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.eng.Run(180 * sim.Second)
+		useful := col.MeanOver(80*sim.Second, 180*sim.Second, metrics.Useful)
+		parent := col.MeanOver(80*sim.Second, 180*sim.Second, metrics.Parent)
+		raw := col.MeanOver(80*sim.Second, 180*sim.Second, metrics.Raw)
+		var drops, q, sentBytes uint64
+		var dupP, dupS, dupO uint64
+		var nsend, nrecv int
+		for _, n := range sys.Nodes {
+			drops += n.totalOwnDrops
+			dupP += n.dupFromParent
+			dupS += n.dupFromPeer
+			dupO += n.dupOther
+			nsend += len(n.senders)
+			nrecv += len(n.receivers)
+			for _, rf := range n.receivers {
+				q += uint64(len(rf.holes) + len(rf.fresh))
+				sentBytes += rf.sentBytes
+			}
+		}
+		st := w.net.Stats()
+		var peerRate, childRate float64
+		var npeer, nchild int
+		for _, n := range sys.Nodes {
+			for _, rf := range n.receivers {
+				peerRate += rf.flow.Rate() * 8 / 1000
+				npeer++
+			}
+			for _, ci := range n.children {
+				childRate += ci.flow.Rate() * 8 / 1000
+				nchild++
+			}
+		}
+		fmt.Printf("disjoint=%v useful=%.0f parent=%.0f raw=%.0f dup=%.3f senders=%.1f recvs=%.1f ownDrops=%d queued=%d congDrops=%d lossDrops=%d ctrl=%.1fKbps peerRate=%.0f childRate=%.0f\n",
+			disjoint, useful, parent, raw, col.DuplicateRatio(),
+			float64(nsend)/40, float64(nrecv)/40, drops, q,
+			st.CongestionDrops, st.RandomLossDrops, sys.ControlOverheadKbps(),
+			peerRate/float64(max(1, npeer)), childRate/float64(max(1, nchild)))
+		// Flow-rate histogram and busiest-link utilization.
+		buckets := map[string]int{}
+		slowStart := 0
+		for _, n := range sys.Nodes {
+			for _, rf := range n.receivers {
+				kbps := rf.flow.Rate() * 8 / 1000
+				switch {
+				case kbps < 10:
+					buckets["<10"]++
+				case kbps < 30:
+					buckets["10-30"]++
+				case kbps < 100:
+					buckets["30-100"]++
+				default:
+					buckets[">=100"]++
+				}
+				if rf.flow.RTT() > 0.3 {
+					slowStart++ // mislabeled: counts high-RTT flows
+				}
+			}
+		}
+		var worstUtil float64
+		for i := range w.g.Links {
+			ab, ba := w.net.LinkUtilization(i)
+			u := float64(ab+ba) * 8 / 1000 / 160 / (2 * w.g.Links[i].Kbps())
+			if u > worstUtil {
+				worstUtil = u
+			}
+		}
+		var idle, blocked uint64
+		var cov float64
+		for _, n := range sys.Nodes {
+			idle += n.pumpIdle
+			blocked += n.pumpBlocked
+			span := n.ws.High() - n.ws.Low() + 1
+			if span > 0 {
+				cov += float64(n.ws.Len()) / float64(span)
+			}
+		}
+		fmt.Printf("  flows: %v highRTT=%d worstLinkUtil=%.2f dupParent=%d dupPeer=%d dupOther=%d pumpIdle=%d pumpBlocked=%d meanCoverage=%.2f\n",
+			buckets, slowStart, worstUtil, dupP, dupS, dupO, idle, blocked, cov/40)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// mkNode builds a bare node with the given sender IDs and mods, for
+// unit-testing row assignment logic without a network.
+func mkNode(mods map[int]int) *Node {
+	n := &Node{senders: make(map[int]*senderInfo)}
+	for id, mod := range mods {
+		n.senders[id] = &senderInfo{node: id, mod: mod}
+	}
+	return n
+}
+
+func assertPermutation(t *testing.T, n *Node) {
+	t.Helper()
+	s := len(n.senders)
+	seen := make(map[int]bool)
+	for id, si := range n.senders {
+		if si.mod < 0 || si.mod >= s {
+			t.Fatalf("sender %d mod %d out of [0,%d)", id, si.mod, s)
+		}
+		if seen[si.mod] {
+			t.Fatalf("duplicate mod %d", si.mod)
+		}
+		seen[si.mod] = true
+	}
+}
+
+func TestReassignRowsFromScratch(t *testing.T) {
+	n := mkNode(map[int]int{10: -1, 20: -1, 30: -1})
+	n.reassignRows()
+	assertPermutation(t, n)
+}
+
+func TestReassignRowsStability(t *testing.T) {
+	// Existing valid assignments must be preserved; only the new
+	// sender (mod -1) gets a row.
+	n := mkNode(map[int]int{10: 0, 20: 2, 30: 1, 40: -1})
+	n.reassignRows()
+	assertPermutation(t, n)
+	if n.senders[10].mod != 0 || n.senders[20].mod != 2 || n.senders[30].mod != 1 {
+		t.Fatalf("stable mods changed: %v %v %v",
+			n.senders[10].mod, n.senders[20].mod, n.senders[30].mod)
+	}
+	if n.senders[40].mod != 3 {
+		t.Fatalf("new sender got mod %d, want 3", n.senders[40].mod)
+	}
+}
+
+func TestReassignRowsAfterShrink(t *testing.T) {
+	// Dropping the sender with mod 0 from {0,1,2} leaves mods {1,2}
+	// over a 2-row space; exactly one sender must be remapped.
+	n := mkNode(map[int]int{20: 1, 30: 2})
+	n.reassignRows()
+	assertPermutation(t, n)
+	// The sender whose mod was in range (1) must be untouched.
+	if n.senders[20].mod != 1 {
+		t.Fatalf("in-range mod changed to %d", n.senders[20].mod)
+	}
+	if n.senders[30].mod != 0 {
+		t.Fatalf("out-of-range sender remapped to %d, want 0", n.senders[30].mod)
+	}
+}
+
+// Property: reassignRows always yields a permutation of 0..s-1 and
+// never changes an assignment that was already valid and unconflicted
+// (lowest-id wins conflicts).
+func TestReassignRowsProperty(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) == 0 || len(raw) > 12 {
+			return true
+		}
+		n := &Node{senders: make(map[int]*senderInfo)}
+		for i, m := range raw {
+			n.senders[100+i] = &senderInfo{node: 100 + i, mod: int(m % 16)}
+		}
+		n.reassignRows()
+		s := len(n.senders)
+		seen := make(map[int]bool)
+		for _, si := range n.senders {
+			if si.mod < 0 || si.mod >= s || seen[si.mod] {
+				return false
+			}
+			seen[si.mod] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(11))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRotateRowsPreservesPermutation(t *testing.T) {
+	n := mkNode(map[int]int{10: 0, 20: 1, 30: 2, 40: 3})
+	before := map[int]int{}
+	for id, si := range n.senders {
+		before[id] = si.mod
+	}
+	n.rotateRows()
+	assertPermutation(t, n)
+	for id, si := range n.senders {
+		if si.mod != (before[id]+1)%4 {
+			t.Fatalf("sender %d rotated %d -> %d", id, before[id], si.mod)
+		}
+	}
+}
+
+func TestRotateRowsSingleSenderNoop(t *testing.T) {
+	n := mkNode(map[int]int{10: 0})
+	n.rotateRows()
+	if n.senders[10].mod != 0 {
+		t.Fatal("single sender rotated")
+	}
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"bullet/internal/metrics"
+	"bullet/internal/netem"
+	"bullet/internal/overlay"
+	"bullet/internal/sim"
+	"bullet/internal/topology"
+	"math/rand"
+)
+
+// TestSweep explores freshness delay and recovery window; diagnostic
+// only (run with -run Sweep -v).
+func TestSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic only")
+	}
+	for _, peers := range []int{4, 6, 8, 10} {
+		for _, fd := range []sim.Duration{2 * sim.Second, 6 * sim.Second} {
+			win := uint64(2000)
+			g, err := topology.Generate(func() topology.Config {
+				c := topology.Sized(1500, 40, topology.LowBandwidth)
+				c.Seed = 4
+				return c
+			}())
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng := sim.NewEngine(4)
+			rt := topology.NewRouter(g)
+			net := netem.New(eng, g, rt, netem.Config{})
+			tree, err := overlay.Random(g.Clients, g.Clients[0], 5, rand.New(rand.NewSource(4^0x74726565)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := DefaultConfig(600)
+			cfg.Start = 20 * sim.Second
+			cfg.Duration = 130 * sim.Second
+			cfg.FreshnessDelay = fd
+			cfg.RecoveryWindow = win
+			cfg.MaxSenders = peers
+			cfg.MaxReceivers = peers
+			col := metrics.NewCollector(sim.Second)
+			sys, err := Deploy(net, tree, cfg, col)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng.Run(150 * sim.Second)
+			fmt.Printf("peers=%d fd=%v win=%d useful=%.0f parent=%.0f dup=%.3f ctrl=%.1f\n",
+				peers, fd.ToSeconds(), win,
+				col.MeanOver(70*sim.Second, 150*sim.Second, metrics.Useful),
+				col.MeanOver(70*sim.Second, 150*sim.Second, metrics.Parent),
+				col.DuplicateRatio(), sys.ControlOverheadKbps())
+		}
+	}
+}

@@ -1,0 +1,347 @@
+// Package epidemic implements the two §4.4 comparison systems:
+//
+//   - Push gossiping (lpbcast-like): no tree; every node forwards each
+//     non-duplicate packet, as soon as it arrives, to a fixed number of
+//     peers chosen uniformly at random from its view. The source sends
+//     fresh packets to random nodes at the target rate.
+//
+//   - Streaming with anti-entropy recovery (pbcast-like): nodes stream
+//     over a distribution tree and periodically gossip with random
+//     peers, exchanging FIFO Bloom filter digests; a peer responds
+//     with packets missing from the digest.
+//
+// As in the paper's conservative setup, both techniques are granted
+// full group membership, reuse Bullet's Bloom filters and TFRC
+// transport, use 5 gossip targets per round (experimentally best
+// there), and a 20 s anti-entropy epoch so TFRC can ramp up.
+package epidemic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bullet/internal/bloom"
+	"bullet/internal/metrics"
+	"bullet/internal/netem"
+	"bullet/internal/overlay"
+	"bullet/internal/sim"
+	"bullet/internal/transport"
+	"bullet/internal/workset"
+)
+
+// GossipConfig controls a push-gossip run.
+type GossipConfig struct {
+	RateKbps   float64
+	PacketSize int
+	Start      sim.Time
+	Duration   sim.Duration
+	// Fanout is how many random peers each packet is pushed to
+	// (paper: 5 performs best with lowest overhead).
+	Fanout int
+}
+
+type gossipNode struct {
+	ep    *transport.Endpoint
+	id    int
+	seen  *workset.Set
+	flows map[int]*transport.Flow
+	rng   *rand.Rand
+}
+
+// GossipSystem is a deployed push-gossip overlay.
+type GossipSystem struct {
+	Nodes        map[int]*gossipNode
+	participants []int
+	cfg          GossipConfig
+	col          *metrics.Collector
+	eng          *sim.Engine
+}
+
+// DeployGossip wires gossip nodes over the participant set (full
+// membership, as the paper conservatively assumes).
+func DeployGossip(net *netem.Network, participants []int, source int, cfg GossipConfig, col *metrics.Collector) (*GossipSystem, error) {
+	if cfg.Fanout <= 0 {
+		cfg.Fanout = 5
+	}
+	if cfg.PacketSize <= 0 {
+		cfg.PacketSize = 1500
+	}
+	if cfg.RateKbps <= 0 {
+		return nil, fmt.Errorf("epidemic: rate %v", cfg.RateKbps)
+	}
+	sys := &GossipSystem{
+		Nodes:        make(map[int]*gossipNode),
+		participants: append([]int(nil), participants...),
+		cfg:          cfg,
+		col:          col,
+		eng:          net.Engine(),
+	}
+	for _, id := range participants {
+		n := &gossipNode{
+			ep:    transport.NewEndpoint(net, id),
+			id:    id,
+			seen:  workset.New(),
+			flows: make(map[int]*transport.Flow),
+			rng:   net.Engine().RNG(int64(id)*31337 + 0x676f73),
+		}
+		col.Track(id)
+		id := id
+		n.ep.OnData(func(from int, seq uint64, size int) { sys.onData(id, from, seq, size) })
+		sys.Nodes[id] = n
+	}
+	bytesPerSec := cfg.RateKbps * 1000 / 8
+	interval := sim.Duration(float64(cfg.PacketSize) / bytesPerSec * float64(sim.Second))
+	end := cfg.Start + cfg.Duration
+	var seq uint64
+	src := sys.Nodes[source]
+	var pump func()
+	pump = func() {
+		if sys.eng.Now() >= end {
+			return
+		}
+		src.seen.Add(seq)
+		sys.push(src, seq, cfg.PacketSize)
+		seq++
+		sys.eng.After(interval, pump)
+	}
+	sys.eng.At(cfg.Start, pump)
+	return sys, nil
+}
+
+// push forwards a packet to Fanout random peers over per-peer TFRC
+// flows (created lazily and reused).
+func (sys *GossipSystem) push(n *gossipNode, seq uint64, size int) {
+	for i := 0; i < sys.cfg.Fanout; i++ {
+		peer := sys.participants[n.rng.Intn(len(sys.participants))]
+		if peer == n.id {
+			continue
+		}
+		f := n.flows[peer]
+		if f == nil {
+			var err error
+			f, err = n.ep.OpenFlow(peer, sys.cfg.PacketSize)
+			if err != nil {
+				continue
+			}
+			n.flows[peer] = f
+		}
+		f.TrySend(seq, size)
+	}
+}
+
+func (sys *GossipSystem) onData(id, from int, seq uint64, size int) {
+	n := sys.Nodes[id]
+	now := sys.eng.Now()
+	sys.col.Add(now, id, metrics.Raw, size)
+	if n.seen.Add(seq) {
+		sys.col.Add(now, id, metrics.Useful, size)
+		sys.push(n, seq, size)
+	} else {
+		sys.col.Add(now, id, metrics.Duplicate, size)
+	}
+}
+
+// ---------------------------------------------------------------------
+
+// AntiEntropyConfig controls a streaming + anti-entropy run.
+type AntiEntropyConfig struct {
+	RateKbps   float64
+	PacketSize int
+	Start      sim.Time
+	Duration   sim.Duration
+	// Epoch is the anti-entropy round length (paper: 20 s so TFRC has
+	// time to ramp).
+	Epoch sim.Duration
+	// Peers is how many random peers are gossiped with per round
+	// (paper: 5).
+	Peers int
+	// Window bounds the FIFO Bloom filter population.
+	Window uint64
+}
+
+// aeDigestMsg carries a node's FIFO Bloom digest to a random peer.
+type aeDigestMsg struct {
+	filter    *bloom.Filter
+	low, high uint64
+}
+
+type aeNode struct {
+	ep       *transport.Endpoint
+	id       int
+	parent   int
+	children []int
+	seen     *workset.Set
+	flows    map[int]*transport.Flow // tree + repair flows
+	rng      *rand.Rand
+}
+
+// AntiEntropySystem is a deployed streaming + anti-entropy overlay.
+type AntiEntropySystem struct {
+	Nodes        map[int]*aeNode
+	participants []int
+	tree         *overlay.Tree
+	cfg          AntiEntropyConfig
+	col          *metrics.Collector
+	eng          *sim.Engine
+}
+
+// DeployAntiEntropy wires tree streaming plus random-peer anti-entropy
+// repair over full membership.
+func DeployAntiEntropy(net *netem.Network, tree *overlay.Tree, cfg AntiEntropyConfig, col *metrics.Collector) (*AntiEntropySystem, error) {
+	if cfg.Peers <= 0 {
+		cfg.Peers = 5
+	}
+	if cfg.Epoch <= 0 {
+		cfg.Epoch = 20 * sim.Second
+	}
+	if cfg.PacketSize <= 0 {
+		cfg.PacketSize = 1500
+	}
+	if cfg.Window == 0 {
+		cfg.Window = 2000
+	}
+	if cfg.RateKbps <= 0 {
+		return nil, fmt.Errorf("epidemic: rate %v", cfg.RateKbps)
+	}
+	sys := &AntiEntropySystem{
+		Nodes:        make(map[int]*aeNode),
+		participants: append([]int(nil), tree.Participants...),
+		tree:         tree,
+		cfg:          cfg,
+		col:          col,
+		eng:          net.Engine(),
+	}
+	for _, id := range tree.Participants {
+		parent := -1
+		if p, ok := tree.Parent(id); ok {
+			parent = p
+		}
+		n := &aeNode{
+			ep:       transport.NewEndpoint(net, id),
+			id:       id,
+			parent:   parent,
+			children: tree.Children(id),
+			seen:     workset.New(),
+			flows:    make(map[int]*transport.Flow),
+			rng:      net.Engine().RNG(int64(id)*271828 + 0x6165),
+		}
+		col.Track(id)
+		for _, c := range n.children {
+			f, err := n.ep.OpenFlow(c, cfg.PacketSize)
+			if err != nil {
+				return nil, err
+			}
+			n.flows[c] = f
+		}
+		id := id
+		n.ep.OnData(func(from int, seq uint64, size int) { sys.onData(id, from, seq, size) })
+		n.ep.OnControl(func(from int, payload any, size int) { sys.onControl(id, from, payload) })
+		sys.Nodes[id] = n
+		// Anti-entropy rounds, de-phased per node.
+		jitter := sim.Duration(n.rng.Int63n(int64(cfg.Epoch)))
+		sys.eng.At(cfg.Epoch+jitter, func() { sys.aeRound(id) })
+	}
+	bytesPerSec := cfg.RateKbps * 1000 / 8
+	interval := sim.Duration(float64(cfg.PacketSize) / bytesPerSec * float64(sim.Second))
+	end := cfg.Start + cfg.Duration
+	var seq uint64
+	root := sys.Nodes[tree.Root]
+	var pump func()
+	pump = func() {
+		if sys.eng.Now() >= end {
+			return
+		}
+		root.seen.Add(seq)
+		for _, c := range root.children {
+			root.flows[c].TrySend(seq, cfg.PacketSize)
+		}
+		seq++
+		sys.eng.After(interval, pump)
+	}
+	sys.eng.At(cfg.Start, pump)
+	return sys, nil
+}
+
+func (sys *AntiEntropySystem) onData(id, from int, seq uint64, size int) {
+	n := sys.Nodes[id]
+	now := sys.eng.Now()
+	sys.col.Add(now, id, metrics.Raw, size)
+	if from == n.parent {
+		sys.col.Add(now, id, metrics.Parent, size)
+	}
+	if !n.seen.Add(seq) {
+		sys.col.Add(now, id, metrics.Duplicate, size)
+		return
+	}
+	sys.col.Add(now, id, metrics.Useful, size)
+	for _, c := range n.children {
+		n.flows[c].TrySend(seq, size)
+	}
+}
+
+// aeRound sends this node's digest to a few random peers.
+func (sys *AntiEntropySystem) aeRound(id int) {
+	n := sys.Nodes[id]
+	if n.ep.Failed() {
+		return
+	}
+	// Maintain the FIFO window.
+	if hi := n.seen.High(); hi > sys.cfg.Window {
+		n.seen.TrimBelow(hi - sys.cfg.Window)
+	}
+	filter := bloom.NewForCapacity(int(sys.cfg.Window), 0.03)
+	n.seen.ForRange(n.seen.Low(), n.seen.High(), func(seq uint64) bool {
+		filter.Add(seq)
+		return true
+	})
+	for i := 0; i < sys.cfg.Peers; i++ {
+		peer := sys.participants[n.rng.Intn(len(sys.participants))]
+		if peer == id {
+			continue
+		}
+		n.ep.SendControl(peer, &aeDigestMsg{filter: filter, low: n.seen.Low(), high: n.seen.High()}, filter.SizeBytes()+24)
+	}
+	sys.eng.After(sys.cfg.Epoch, func() { sys.aeRound(id) })
+}
+
+// onControl answers digests with missing packets (last-in-first-out,
+// like pbcast's most-recent-first retransmission).
+func (sys *AntiEntropySystem) onControl(id, from int, payload any) {
+	m, ok := payload.(*aeDigestMsg)
+	if !ok {
+		return
+	}
+	n := sys.Nodes[id]
+	f := n.flows[from]
+	if f == nil {
+		var err error
+		f, err = n.ep.OpenFlow(from, sys.cfg.PacketSize)
+		if err != nil {
+			return
+		}
+		n.flows[from] = f
+	}
+	// Serve from newest to oldest until the flow budget runs out.
+	var pendingHi uint64
+	if h := n.seen.High(); h > 0 {
+		pendingHi = h
+	}
+	lo := m.low
+	if n.seen.Low() > lo {
+		lo = n.seen.Low()
+	}
+	for seq := pendingHi; seq+1 > lo; seq-- {
+		if !n.seen.Held(seq) {
+			continue
+		}
+		if m.filter.Contains(seq) {
+			continue
+		}
+		if !f.TrySend(seq, sys.cfg.PacketSize) {
+			break
+		}
+		if seq == 0 {
+			break
+		}
+	}
+}

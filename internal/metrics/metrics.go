@@ -1,0 +1,226 @@
+// Package metrics collects the measurements the Bullet paper plots:
+// per-node achieved bandwidth over time split into raw (all data
+// received), useful (first-copy data), from-parent, and duplicate
+// bytes, plus CDF snapshots of instantaneous bandwidth (Figure 8) and
+// run-level summaries (duplicate ratio, control overhead).
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"bullet/internal/sim"
+)
+
+// nodeIDs returns tracked node ids in sorted order so that float
+// aggregation order (and therefore every reported number) is
+// deterministic.
+func (c *Collector) nodeIDs() []int {
+	ids := make([]int, 0, len(c.nodes))
+	for id := range c.nodes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Kind selects a byte counter category.
+type Kind int
+
+const (
+	// Useful counts bytes of packets received for the first time.
+	Useful Kind = iota
+	// Raw counts all data bytes received, including duplicates.
+	Raw
+	// Parent counts data bytes received from the tree parent.
+	Parent
+	// Duplicate counts bytes of packets already held.
+	Duplicate
+	numKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Useful:
+		return "useful"
+	case Raw:
+		return "raw"
+	case Parent:
+		return "from-parent"
+	case Duplicate:
+		return "duplicate"
+	}
+	return "unknown"
+}
+
+type nodeSeries struct {
+	buckets [numKinds][]uint64
+}
+
+// Collector accumulates byte counts into fixed-width time buckets.
+type Collector struct {
+	bucket sim.Duration
+	nodes  map[int]*nodeSeries
+	maxIdx int
+}
+
+// NewCollector creates a collector with the given bucket width
+// (typically one second).
+func NewCollector(bucket sim.Duration) *Collector {
+	if bucket <= 0 {
+		bucket = sim.Second
+	}
+	return &Collector{bucket: bucket, nodes: make(map[int]*nodeSeries)}
+}
+
+// Bucket returns the bucket width.
+func (c *Collector) Bucket() sim.Duration { return c.bucket }
+
+// Track pre-registers a node so averages include it even if it never
+// receives a byte.
+func (c *Collector) Track(node int) {
+	if _, ok := c.nodes[node]; !ok {
+		c.nodes[node] = &nodeSeries{}
+	}
+}
+
+// Add records size bytes of the given kind for node at time now.
+func (c *Collector) Add(now sim.Time, node int, k Kind, size int) {
+	ns := c.nodes[node]
+	if ns == nil {
+		ns = &nodeSeries{}
+		c.nodes[node] = ns
+	}
+	idx := int(now / c.bucket)
+	if idx > c.maxIdx {
+		c.maxIdx = idx
+	}
+	s := ns.buckets[k]
+	for len(s) <= idx {
+		s = append(s, 0)
+	}
+	s[idx] += uint64(size)
+	ns.buckets[k] = s
+}
+
+// Point is one sample of a bandwidth-versus-time series.
+type Point struct {
+	T    float64 // bucket start, seconds
+	Kbps float64 // mean across nodes
+	Std  float64 // standard deviation across nodes
+}
+
+// Series returns the across-node mean (and standard deviation) of
+// per-node bandwidth of the given kind for every bucket, in Kbps —
+// the series plotted in Figures 6, 7 and 9-15.
+func (c *Collector) Series(k Kind) []Point {
+	n := len(c.nodes)
+	if n == 0 {
+		return nil
+	}
+	bucketSec := c.bucket.ToSeconds()
+	ids := c.nodeIDs()
+	out := make([]Point, c.maxIdx+1)
+	for i := 0; i <= c.maxIdx; i++ {
+		var sum, sumsq float64
+		for _, id := range ids {
+			ns := c.nodes[id]
+			var v float64
+			if i < len(ns.buckets[k]) {
+				v = float64(ns.buckets[k][i]) * 8 / 1000 / bucketSec // Kbps
+			}
+			sum += v
+			sumsq += v * v
+		}
+		mean := sum / float64(n)
+		variance := sumsq/float64(n) - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		out[i] = Point{T: float64(i) * bucketSec, Kbps: mean, Std: math.Sqrt(variance)}
+	}
+	return out
+}
+
+// NodeSeries returns one node's bandwidth series of the given kind.
+func (c *Collector) NodeSeries(node int, k Kind) []Point {
+	ns := c.nodes[node]
+	if ns == nil {
+		return nil
+	}
+	bucketSec := c.bucket.ToSeconds()
+	out := make([]Point, c.maxIdx+1)
+	for i := 0; i <= c.maxIdx; i++ {
+		var v float64
+		if i < len(ns.buckets[k]) {
+			v = float64(ns.buckets[k][i]) * 8 / 1000 / bucketSec
+		}
+		out[i] = Point{T: float64(i) * bucketSec, Kbps: v}
+	}
+	return out
+}
+
+// CDFAt returns the sorted per-node instantaneous bandwidths (Kbps) of
+// kind k in the bucket containing time t — Figure 8's CDF data.
+func (c *Collector) CDFAt(t sim.Time, k Kind) []float64 {
+	idx := int(t / c.bucket)
+	bucketSec := c.bucket.ToSeconds()
+	var out []float64
+	for _, id := range c.nodeIDs() {
+		ns := c.nodes[id]
+		var v float64
+		if idx >= 0 && idx < len(ns.buckets[k]) {
+			v = float64(ns.buckets[k][idx]) * 8 / 1000 / bucketSec
+		}
+		out = append(out, v)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// MeanOver returns the across-node, across-bucket mean bandwidth in
+// Kbps of kind k over [from, to).
+func (c *Collector) MeanOver(from, to sim.Time, k Kind) float64 {
+	lo, hi := int(from/c.bucket), int(to/c.bucket)
+	if hi > c.maxIdx+1 {
+		hi = c.maxIdx + 1
+	}
+	if hi <= lo || len(c.nodes) == 0 {
+		return 0
+	}
+	bucketSec := c.bucket.ToSeconds()
+	var sum float64
+	for _, id := range c.nodeIDs() {
+		ns := c.nodes[id]
+		for i := lo; i < hi; i++ {
+			if i < len(ns.buckets[k]) {
+				sum += float64(ns.buckets[k][i])
+			}
+		}
+	}
+	return sum * 8 / 1000 / bucketSec / float64(hi-lo) / float64(len(c.nodes))
+}
+
+// Total returns the total bytes of kind k across all nodes.
+func (c *Collector) Total(k Kind) uint64 {
+	var sum uint64
+	for _, ns := range c.nodes { // integer sum: order-independent
+		for _, v := range ns.buckets[k] {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// DuplicateRatio returns duplicate bytes / raw bytes (the paper reports
+// <10% for Bullet).
+func (c *Collector) DuplicateRatio() float64 {
+	raw := c.Total(Raw)
+	if raw == 0 {
+		return 0
+	}
+	return float64(c.Total(Duplicate)) / float64(raw)
+}
+
+// Nodes returns the number of tracked nodes.
+func (c *Collector) Nodes() int { return len(c.nodes) }

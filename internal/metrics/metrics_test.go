@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"testing"
+
+	"bullet/internal/sim"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	c := NewCollector(sim.Second)
+	// Node 1 receives 125000 bytes in second 0 => 1000 Kbps.
+	c.Add(500*sim.Millisecond, 1, Useful, 125000)
+	c.Add(1500*sim.Millisecond, 1, Useful, 62500) // 500 Kbps in second 1
+	s := c.Series(Useful)
+	if len(s) != 2 {
+		t.Fatalf("series length %d", len(s))
+	}
+	if s[0].Kbps != 1000 || s[1].Kbps != 500 {
+		t.Fatalf("series %+v", s)
+	}
+	if s[0].T != 0 || s[1].T != 1 {
+		t.Fatalf("timestamps %+v", s)
+	}
+}
+
+func TestSeriesMeanAcrossNodes(t *testing.T) {
+	c := NewCollector(sim.Second)
+	c.Add(0, 1, Useful, 125000) // 1000 Kbps
+	c.Add(0, 2, Useful, 0)      // 0 Kbps (explicit zero via Track)
+	c.Track(2)
+	s := c.Series(Useful)
+	if s[0].Kbps != 500 {
+		t.Fatalf("mean %v want 500", s[0].Kbps)
+	}
+	if s[0].Std != 500 {
+		t.Fatalf("std %v want 500", s[0].Std)
+	}
+}
+
+func TestTrackIncludesSilentNodes(t *testing.T) {
+	c := NewCollector(sim.Second)
+	c.Track(1)
+	c.Track(2)
+	c.Add(0, 1, Useful, 125000)
+	if got := c.Series(Useful)[0].Kbps; got != 500 {
+		t.Fatalf("mean with silent node %v", got)
+	}
+	if c.Nodes() != 2 {
+		t.Fatalf("nodes=%d", c.Nodes())
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	c := NewCollector(sim.Second)
+	c.Add(10*sim.Second, 1, Useful, 125000)
+	c.Add(10*sim.Second, 2, Useful, 62500)
+	c.Track(3)
+	cdf := c.CDFAt(10*sim.Second+500*sim.Millisecond, Useful)
+	if len(cdf) != 3 {
+		t.Fatalf("cdf size %d", len(cdf))
+	}
+	if cdf[0] != 0 || cdf[1] != 500 || cdf[2] != 1000 {
+		t.Fatalf("cdf %v", cdf)
+	}
+}
+
+func TestMeanOver(t *testing.T) {
+	c := NewCollector(sim.Second)
+	c.Add(0, 1, Raw, 125000)
+	c.Add(sim.Second, 1, Raw, 125000)
+	c.Add(2*sim.Second, 1, Raw, 0)
+	got := c.MeanOver(0, 2*sim.Second, Raw)
+	if got != 1000 {
+		t.Fatalf("MeanOver=%v want 1000", got)
+	}
+	if c.MeanOver(5*sim.Second, 4*sim.Second, Raw) != 0 {
+		t.Fatal("inverted range should be 0")
+	}
+}
+
+func TestDuplicateRatio(t *testing.T) {
+	c := NewCollector(sim.Second)
+	c.Add(0, 1, Raw, 1000)
+	c.Add(0, 1, Duplicate, 100)
+	if r := c.DuplicateRatio(); r != 0.1 {
+		t.Fatalf("ratio %v", r)
+	}
+	empty := NewCollector(sim.Second)
+	if empty.DuplicateRatio() != 0 {
+		t.Fatal("empty ratio nonzero")
+	}
+}
+
+func TestTotals(t *testing.T) {
+	c := NewCollector(sim.Second)
+	c.Add(0, 1, Parent, 10)
+	c.Add(3*sim.Second, 2, Parent, 20)
+	if c.Total(Parent) != 30 {
+		t.Fatalf("total %d", c.Total(Parent))
+	}
+}
+
+func TestNodeSeries(t *testing.T) {
+	c := NewCollector(sim.Second)
+	c.Add(0, 7, Useful, 125000)
+	c.Add(sim.Second, 8, Useful, 125000)
+	s := c.NodeSeries(7, Useful)
+	if len(s) != 2 || s[0].Kbps != 1000 || s[1].Kbps != 0 {
+		t.Fatalf("node series %+v", s)
+	}
+	if c.NodeSeries(99, Useful) != nil {
+		t.Fatal("series for unknown node")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{Useful: "useful", Raw: "raw", Parent: "from-parent", Duplicate: "duplicate"} {
+		if k.String() != want {
+			t.Fatalf("%v", k)
+		}
+	}
+}

@@ -1,0 +1,254 @@
+// Package netem is a deterministic packet-level network emulator: the
+// stand-in for the ModelNet cluster emulator used in the Bullet paper's
+// evaluation. Packets are forwarded hop-by-hop along fixed shortest
+// paths; each link direction models store-and-forward serialization at
+// the link bandwidth, a bounded FIFO queue with tail drop (congestion
+// loss), propagation delay, and independent random loss. These are the
+// exact mechanisms ModelNet emulates, so transports running above (TFRC)
+// observe equivalent loss and delay signals.
+package netem
+
+import (
+	"math/rand"
+
+	"bullet/internal/sim"
+	"bullet/internal/topology"
+)
+
+// Kind distinguishes application data from protocol control traffic.
+type Kind uint8
+
+const (
+	// Data packets carry stream content; they are subject to queuing
+	// drops and random link loss.
+	Data Kind = iota
+	// Control packets (RanSub sets, peering requests, Bloom filter
+	// refreshes, TFRC feedback) consume link bandwidth and experience
+	// queuing delay, but are delivered reliably, modeling small TCP
+	// control transfers. Their bytes are accounted as overhead.
+	Control
+)
+
+// Packet is the unit of transfer between two overlay participants.
+type Packet struct {
+	Kind    Kind
+	Seq     uint64 // data sequence number (Data packets)
+	Size    int    // bytes on the wire
+	From    int    // source graph node
+	To      int    // destination graph node
+	Payload any    // protocol message for Control packets
+	Trace   bool   // participate in link-stress accounting
+	SentAt  sim.Time
+}
+
+// Handler receives packets addressed to a registered node.
+type Handler func(pkt Packet)
+
+// Config tunes the emulator.
+type Config struct {
+	// QueueDelayLimit bounds per-link queuing delay; a packet whose
+	// wait would exceed it is tail-dropped. Default 150ms.
+	QueueDelayLimit sim.Duration
+}
+
+type dirState struct {
+	busyUntil sim.Time
+	bytes     uint64
+	drops     uint64 // congestion drops
+	lossDrops uint64 // random loss drops
+	packets   uint64
+}
+
+// Network emulates the physical topology for registered participants.
+type Network struct {
+	eng      *sim.Engine
+	g        *topology.Graph
+	rt       *topology.Router
+	cfg      Config
+	dirs     []dirState // 2*linkID + direction
+	handlers map[int]Handler
+	rng      *rand.Rand
+
+	// Aggregate accounting.
+	dataBytesSent    uint64
+	dataBytesDeliv   uint64
+	controlBytes     uint64
+	congestionDrops  uint64
+	randomLossDrops  uint64
+	deliveredPackets uint64
+
+	// Link stress: per traced sequence, per link, copy count.
+	traceStress map[uint64]map[int32]int
+}
+
+// New creates an emulator over graph g routed by rt, scheduling on eng.
+func New(eng *sim.Engine, g *topology.Graph, rt *topology.Router, cfg Config) *Network {
+	if cfg.QueueDelayLimit <= 0 {
+		cfg.QueueDelayLimit = 150 * sim.Millisecond
+	}
+	return &Network{
+		eng:         eng,
+		g:           g,
+		rt:          rt,
+		cfg:         cfg,
+		dirs:        make([]dirState, 2*len(g.Links)),
+		handlers:    make(map[int]Handler),
+		rng:         eng.RNG(0x6e65746d),
+		traceStress: make(map[uint64]map[int32]int),
+	}
+}
+
+// Engine returns the simulation engine.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// Router returns the route oracle.
+func (n *Network) Router() *topology.Router { return n.rt }
+
+// Graph returns the topology.
+func (n *Network) Graph() *topology.Graph { return n.g }
+
+// Register installs the packet handler for node id, replacing any
+// previous handler.
+func (n *Network) Register(node int, h Handler) { n.handlers[node] = h }
+
+// Unregister removes the handler for node id; packets in flight to it
+// are silently discarded on arrival.
+func (n *Network) Unregister(node int) { delete(n.handlers, node) }
+
+// Send injects a packet at pkt.From at the current virtual time. The
+// packet traverses the fixed shortest path to pkt.To; it may be dropped
+// on the way. Local delivery (From == To) happens after one event cycle.
+func (n *Network) Send(pkt Packet) {
+	pkt.SentAt = n.eng.Now()
+	if pkt.Kind == Control {
+		n.controlBytes += uint64(pkt.Size)
+	} else {
+		n.dataBytesSent += uint64(pkt.Size)
+	}
+	path := n.rt.Path(pkt.From, pkt.To)
+	if path == nil && pkt.From != pkt.To {
+		return // unreachable: dropped
+	}
+	n.hop(pkt, path, 0, pkt.From)
+}
+
+// hop processes arrival of pkt at the input of path[i], currently at
+// node cur, and schedules the next-hop arrival.
+func (n *Network) hop(pkt Packet, path []int32, i int, cur int) {
+	if i == len(path) {
+		n.deliver(pkt)
+		return
+	}
+	lid := path[i]
+	l := &n.g.Links[lid]
+	dir := 0
+	next := l.B
+	if cur == l.B {
+		dir = 1
+		next = l.A
+	}
+	ds := &n.dirs[2*int(lid)+dir]
+
+	now := n.eng.Now()
+	start := now
+	if ds.busyUntil > start {
+		start = ds.busyUntil
+	}
+	// Queue admission for data: probabilistic early drop (RED-style)
+	// once the wait passes half the bound, ramping to certain drop at
+	// the bound. Early drop gives transports a timely congestion signal
+	// and breaks the phase synchronization a deterministic tail-drop
+	// would impose on competing flows.
+	if pkt.Kind == Data {
+		wait := start - now
+		limit := n.cfg.QueueDelayLimit
+		if wait > limit/2 {
+			p := float64(wait-limit/2) / float64(limit-limit/2)
+			if p >= 1 || n.rng.Float64() < p {
+				ds.drops++
+				n.congestionDrops++
+				return
+			}
+		}
+	}
+	// Random loss is applied per traversal, before transmission.
+	if pkt.Kind == Data && l.Loss > 0 && n.rng.Float64() < l.Loss {
+		ds.lossDrops++
+		n.randomLossDrops++
+		return
+	}
+	ser := sim.Duration(float64(pkt.Size) / l.Bytes * float64(sim.Second))
+	ds.busyUntil = start + ser
+	ds.bytes += uint64(pkt.Size)
+	ds.packets++
+	if pkt.Trace {
+		m := n.traceStress[pkt.Seq]
+		if m == nil {
+			m = make(map[int32]int)
+			n.traceStress[pkt.Seq] = m
+		}
+		m[lid]++
+	}
+	arrive := ds.busyUntil + l.Delay
+	n.eng.At(arrive, func() { n.hop(pkt, path, i+1, next) })
+}
+
+func (n *Network) deliver(pkt Packet) {
+	h := n.handlers[pkt.To]
+	if h == nil {
+		return
+	}
+	if pkt.Kind == Data {
+		n.dataBytesDeliv += uint64(pkt.Size)
+	}
+	n.deliveredPackets++
+	h(pkt)
+}
+
+// Stats is a snapshot of aggregate emulator accounting.
+type Stats struct {
+	DataBytesSent      uint64
+	DataBytesDelivered uint64
+	ControlBytes       uint64
+	CongestionDrops    uint64
+	RandomLossDrops    uint64
+	DeliveredPackets   uint64
+}
+
+// Stats returns a snapshot of aggregate counters.
+func (n *Network) Stats() Stats {
+	return Stats{
+		DataBytesSent:      n.dataBytesSent,
+		DataBytesDelivered: n.dataBytesDeliv,
+		ControlBytes:       n.controlBytes,
+		CongestionDrops:    n.congestionDrops,
+		RandomLossDrops:    n.randomLossDrops,
+		DeliveredPackets:   n.deliveredPackets,
+	}
+}
+
+// LinkStress summarizes link-stress accounting over traced packets, in
+// the manner of §4.2: for each traced packet, the stress of a link is
+// the number of copies of that packet that crossed it; Avg averages
+// across all (packet, link) pairs and Max is the absolute maximum.
+func (n *Network) LinkStress() (avg float64, max int) {
+	var sum, cnt int
+	for _, links := range n.traceStress {
+		for _, c := range links {
+			sum += c
+			cnt++
+			if c > max {
+				max = c
+			}
+		}
+	}
+	if cnt == 0 {
+		return 0, 0
+	}
+	return float64(sum) / float64(cnt), max
+}
+
+// LinkUtilization returns bytes carried per direction for link id.
+func (n *Network) LinkUtilization(link int) (ab, ba uint64) {
+	return n.dirs[2*link].bytes, n.dirs[2*link+1].bytes
+}

@@ -1,0 +1,239 @@
+// Package overlay builds the distribution trees Bullet runs on top of:
+// random degree-constrained trees, the paper's offline greedy bottleneck
+// bandwidth tree (OMBT, §4.1) computed from global topology knowledge,
+// an Overcast-like online bandwidth-optimizing tree, and the handcrafted
+// good/worst trees of the PlanetLab experiment (§4.7).
+package overlay
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Tree is a rooted overlay tree over participant (graph-node) IDs.
+type Tree struct {
+	Root         int
+	Participants []int
+	parent       map[int]int
+	children     map[int][]int
+}
+
+// NewTree creates a tree containing only the root.
+func NewTree(root int) *Tree {
+	return &Tree{
+		Root:         root,
+		Participants: []int{root},
+		parent:       map[int]int{root: -1},
+		children:     make(map[int][]int),
+	}
+}
+
+// Attach adds node as a child of parent. The parent must already be in
+// the tree and the node must not be.
+func (t *Tree) Attach(node, parent int) error {
+	if _, ok := t.parent[parent]; !ok {
+		return fmt.Errorf("overlay: parent %d not in tree", parent)
+	}
+	if _, ok := t.parent[node]; ok {
+		return fmt.Errorf("overlay: node %d already in tree", node)
+	}
+	t.parent[node] = parent
+	t.children[parent] = append(t.children[parent], node)
+	t.Participants = append(t.Participants, node)
+	return nil
+}
+
+// Parent returns node's parent and true, or -1,false for the root or
+// unknown nodes.
+func (t *Tree) Parent(node int) (int, bool) {
+	p, ok := t.parent[node]
+	if !ok || p < 0 {
+		return -1, false
+	}
+	return p, true
+}
+
+// Children returns node's children (shared slice; do not mutate).
+func (t *Tree) Children(node int) []int { return t.children[node] }
+
+// Contains reports whether node is in the tree.
+func (t *Tree) Contains(node int) bool {
+	_, ok := t.parent[node]
+	return ok
+}
+
+// Size returns the number of participants.
+func (t *Tree) Size() int { return len(t.Participants) }
+
+// Degree returns the out-degree (children count) of node.
+func (t *Tree) Degree(node int) int { return len(t.children[node]) }
+
+// SubtreeSize returns the number of nodes in node's subtree, including
+// itself.
+func (t *Tree) SubtreeSize(node int) int {
+	n := 1
+	for _, c := range t.children[node] {
+		n += t.SubtreeSize(c)
+	}
+	return n
+}
+
+// Descendants returns SubtreeSize - 1.
+func (t *Tree) Descendants(node int) int { return t.SubtreeSize(node) - 1 }
+
+// Depth returns the maximum root-to-leaf hop count.
+func (t *Tree) Depth() int {
+	var walk func(n, d int) int
+	walk = func(n, d int) int {
+		max := d
+		for _, c := range t.children[n] {
+			if cd := walk(c, d+1); cd > max {
+				max = cd
+			}
+		}
+		return max
+	}
+	return walk(t.Root, 0)
+}
+
+// DepthOf returns the hop distance from the root to node (-1 if absent).
+func (t *Tree) DepthOf(node int) int {
+	d := 0
+	for node != t.Root {
+		p, ok := t.parent[node]
+		if !ok || p < 0 {
+			return -1
+		}
+		node = p
+		d++
+	}
+	return d
+}
+
+// IsDescendant reports whether b lies in a's subtree (a is its own
+// descendant for convenience in RanSub-nondescendants checks).
+func (t *Tree) IsDescendant(a, b int) bool {
+	for b != a {
+		p, ok := t.parent[b]
+		if !ok || p < 0 {
+			return false
+		}
+		b = p
+	}
+	return true
+}
+
+// Validate checks that the tree spans exactly the given participants,
+// is acyclic, and every non-root node has a parent in the tree.
+func (t *Tree) Validate(participants []int) error {
+	if len(t.Participants) != len(participants) {
+		return fmt.Errorf("overlay: tree has %d nodes, want %d", len(t.Participants), len(participants))
+	}
+	want := make(map[int]bool, len(participants))
+	for _, p := range participants {
+		want[p] = true
+	}
+	reached := 0
+	var walk func(n int) error
+	seen := make(map[int]bool)
+	var err error
+	walk = func(n int) error {
+		if seen[n] {
+			return fmt.Errorf("overlay: cycle through %d", n)
+		}
+		seen[n] = true
+		reached++
+		if !want[n] {
+			return fmt.Errorf("overlay: unexpected node %d", n)
+		}
+		for _, c := range t.children[n] {
+			if e := walk(c); e != nil {
+				return e
+			}
+		}
+		return nil
+	}
+	if err = walk(t.Root); err != nil {
+		return err
+	}
+	if reached != len(participants) {
+		return fmt.Errorf("overlay: reached %d of %d nodes", reached, len(participants))
+	}
+	return nil
+}
+
+// Remove detaches node (which must be a leaf or an entire failed
+// subtree is detached with it) — used by failure experiments. The
+// orphaned subtree nodes are returned.
+func (t *Tree) Remove(node int) []int {
+	p, ok := t.parent[node]
+	if !ok {
+		return nil
+	}
+	if p >= 0 {
+		cs := t.children[p]
+		for i, c := range cs {
+			if c == node {
+				t.children[p] = append(cs[:i], cs[i+1:]...)
+				break
+			}
+		}
+	}
+	var orphans []int
+	var collect func(n int)
+	collect = func(n int) {
+		orphans = append(orphans, n)
+		for _, c := range t.children[n] {
+			collect(c)
+		}
+		delete(t.parent, n)
+		delete(t.children, n)
+	}
+	collect(node)
+	kept := t.Participants[:0]
+	gone := make(map[int]bool, len(orphans))
+	for _, o := range orphans {
+		gone[o] = true
+	}
+	for _, p := range t.Participants {
+		if !gone[p] {
+			kept = append(kept, p)
+		}
+	}
+	t.Participants = kept
+	return orphans
+}
+
+// Random builds a random tree: participants are attached in random
+// order to a uniformly random already-attached node with spare degree.
+// This is the paper's "random tree" baseline.
+func Random(participants []int, root int, maxDegree int, rng *rand.Rand) (*Tree, error) {
+	if maxDegree < 1 {
+		return nil, fmt.Errorf("overlay: maxDegree %d", maxDegree)
+	}
+	t := NewTree(root)
+	order := make([]int, 0, len(participants))
+	for _, p := range participants {
+		if p != root {
+			order = append(order, p)
+		}
+	}
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	attached := []int{root}
+	for _, n := range order {
+		// Rejection-sample an attachment point with spare degree.
+		for {
+			cand := attached[rng.Intn(len(attached))]
+			if t.Degree(cand) < maxDegree {
+				if err := t.Attach(n, cand); err != nil {
+					return nil, err
+				}
+				attached = append(attached, n)
+				break
+			}
+		}
+	}
+	sort.Ints(t.Participants)
+	return t, nil
+}

@@ -1,0 +1,350 @@
+// Package ransub implements RanSub (§2.2, Kostić et al., USITS 2003):
+// periodic distribution of changing, uniformly random subsets of global
+// state to every node of an overlay tree, using collect messages that
+// propagate summaries up the tree and distribute messages that carry
+// compacted random subsets back down. Bullet uses the
+// RanSub-nondescendants variant: each node receives a random subset
+// drawn from all participants except its own descendants, together with
+// each member's summary ticket.
+package ransub
+
+import (
+	"math/rand"
+	"sort"
+
+	"bullet/internal/sim"
+	"bullet/internal/sketch"
+	"bullet/internal/transport"
+)
+
+// Entry is one member of a collect or distribute set: a participant and
+// the summary ticket of its working set.
+type Entry struct {
+	Node   int
+	Ticket *sketch.Ticket
+}
+
+// EntryWireSize is the per-entry wire size: a 120-byte summary ticket
+// plus the node address.
+const EntryWireSize = 128
+
+// Group is an input to Compact: a uniform random sample (Entries) of a
+// sub-population of the given total size.
+type Group struct {
+	Entries    []Entry
+	Population int
+}
+
+// Compact merges multiple fixed-size uniform samples into one
+// fixed-size sample that is uniformly representative of the combined
+// population (§2.2). Sampling is without replacement, weighting each
+// entry by population/|sample| of its group (Efraimidis-Spirakis
+// weighted reservoir keys).
+func Compact(rng *rand.Rand, size int, groups []Group) []Entry {
+	type keyed struct {
+		e   Entry
+		key float64
+	}
+	var all []keyed
+	for _, g := range groups {
+		if len(g.Entries) == 0 || g.Population <= 0 {
+			continue
+		}
+		w := float64(g.Population) / float64(len(g.Entries))
+		for _, e := range g.Entries {
+			all = append(all, keyed{e: e, key: rng.ExpFloat64() / w})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].key < all[j].key })
+	if len(all) > size {
+		all = all[:size]
+	}
+	out := make([]Entry, len(all))
+	for i, k := range all {
+		out[i] = k.e
+	}
+	return out
+}
+
+// collectMsg travels child -> parent.
+type collectMsg struct {
+	epoch       int
+	set         []Entry
+	descendants int // subtree size below the sender, excluding sender
+}
+
+// distributeMsg travels parent -> child.
+type distributeMsg struct {
+	epoch      int
+	set        []Entry
+	population int // population the set represents
+}
+
+// Config tunes RanSub.
+type Config struct {
+	// SetSize is the number of summary tickets per collect/distribute
+	// set (paper default 10, fitting one IP packet).
+	SetSize int
+	// Epoch is the minimum epoch length (paper default 5s).
+	Epoch sim.Duration
+	// EpochTimeout bounds how long the root waits for collects before
+	// declaring missing children failed and starting the next
+	// distribute phase anyway. Only used when FailureDetection is on.
+	EpochTimeout sim.Duration
+	// FailureDetection enables the epoch-timeout recovery of §4.6.
+	FailureDetection bool
+}
+
+// DefaultConfig mirrors the paper's defaults.
+func DefaultConfig() Config {
+	return Config{SetSize: 10, Epoch: 5 * sim.Second, EpochTimeout: 5 * sim.Second, FailureDetection: true}
+}
+
+// Agent is the per-node RanSub protocol instance. Protocols above
+// (Bullet) provide the node's current summary ticket via TicketFn and
+// receive each epoch's random subset via OnDistribute.
+type Agent struct {
+	ep       *transport.Endpoint
+	cfg      Config
+	rng      *rand.Rand
+	parent   int // -1 at the root
+	children []int
+
+	// TicketFn supplies the node's current summary ticket. May be nil.
+	TicketFn func() *sketch.Ticket
+	// OnDistribute is invoked when an epoch's distribute set arrives.
+	OnDistribute func(epoch int, set []Entry)
+
+	epoch          int
+	childCollect   map[int]collectMsg // latest collect from each child
+	collectsWaited map[int]bool       // children owing a collect this epoch
+	lastDistribute distributeMsg
+	epochTimer     *sim.Timer
+	minEpochDone   bool
+	started        bool
+
+	epochsCompleted int
+}
+
+// NewAgent creates the RanSub instance for ep's node, with the given
+// tree position. parent is -1 for the root.
+func NewAgent(ep *transport.Endpoint, cfg Config, parent int, children []int) *Agent {
+	if cfg.SetSize <= 0 {
+		cfg.SetSize = 10
+	}
+	if cfg.Epoch <= 0 {
+		cfg.Epoch = 5 * sim.Second
+	}
+	if cfg.EpochTimeout <= 0 {
+		cfg.EpochTimeout = cfg.Epoch
+	}
+	kids := append([]int(nil), children...)
+	return &Agent{
+		ep:           ep,
+		cfg:          cfg,
+		rng:          ep.Engine().RNG(int64(ep.Node())*2654435761 + 0x52616e53),
+		parent:       parent,
+		children:     kids,
+		childCollect: make(map[int]collectMsg),
+	}
+}
+
+// IsRoot reports whether this agent sits at the tree root.
+func (a *Agent) IsRoot() bool { return a.parent < 0 }
+
+// Epoch returns the current epoch number.
+func (a *Agent) Epoch() int { return a.epoch }
+
+// EpochsCompleted returns how many distribute phases this node has
+// received (or initiated, at the root).
+func (a *Agent) EpochsCompleted() int { return a.epochsCompleted }
+
+// Descendants returns the latest known subtree size below child
+// (excluding the child itself), from its most recent collect.
+func (a *Agent) Descendants(child int) int {
+	return a.childCollect[child].descendants
+}
+
+// ChildSubtreeSize returns descendants(child) + 1, the population the
+// child's collect set represents.
+func (a *Agent) ChildSubtreeSize(child int) int {
+	if _, ok := a.childCollect[child]; !ok {
+		return 1 // assume at least the child itself
+	}
+	return a.childCollect[child].descendants + 1
+}
+
+// Children returns the children list (shared; do not mutate).
+func (a *Agent) Children() []int { return a.children }
+
+// Start begins epoch generation. Call on the root only; non-root agents
+// are driven entirely by messages.
+func (a *Agent) Start() {
+	if !a.IsRoot() || a.started {
+		return
+	}
+	a.started = true
+	a.beginEpoch()
+}
+
+func (a *Agent) ownEntry() Entry {
+	var t *sketch.Ticket
+	if a.TicketFn != nil {
+		t = a.TicketFn().Clone()
+	}
+	return Entry{Node: a.ep.Node(), Ticket: t}
+}
+
+// beginEpoch (root only) starts the next distribute phase.
+func (a *Agent) beginEpoch() {
+	a.epoch++
+	a.epochsCompleted++
+	a.minEpochDone = false
+	a.collectsWaited = make(map[int]bool, len(a.children))
+	for _, c := range a.children {
+		a.collectsWaited[c] = true
+	}
+	a.sendDistributes(distributeMsg{epoch: a.epoch})
+	eng := a.ep.Engine()
+	eng.After(a.cfg.Epoch, func() {
+		a.minEpochDone = true
+		a.maybeAdvance()
+	})
+	if a.epochTimer != nil {
+		a.epochTimer.Cancel()
+	}
+	if a.cfg.FailureDetection {
+		timeout := a.cfg.EpochTimeout
+		if timeout < a.cfg.Epoch {
+			timeout = a.cfg.Epoch
+		}
+		a.epochTimer = eng.After(a.cfg.Epoch+timeout, func() {
+			// Failure detection: stop waiting for missing collects.
+			if len(a.collectsWaited) > 0 {
+				a.collectsWaited = make(map[int]bool)
+				a.maybeAdvance()
+			}
+		})
+	}
+}
+
+// maybeAdvance (root only) starts the next epoch once all collects are
+// in and the minimum epoch length has elapsed.
+func (a *Agent) maybeAdvance() {
+	if !a.IsRoot() || !a.started {
+		return
+	}
+	if a.minEpochDone && len(a.collectsWaited) == 0 {
+		a.beginEpoch()
+	}
+}
+
+// sendDistributes builds and sends the RanSub-nondescendants distribute
+// set for each child: the compaction of the node's own distribute set,
+// its own entry, and the collect sets of the child's siblings.
+func (a *Agent) sendDistributes(incoming distributeMsg) {
+	for _, child := range a.children {
+		groups := []Group{
+			{Entries: []Entry{a.ownEntry()}, Population: 1},
+		}
+		if len(incoming.set) > 0 {
+			groups = append(groups, Group{Entries: incoming.set, Population: incoming.population})
+		}
+		pop := 1 + incoming.population
+		for _, sib := range a.children {
+			if sib == child {
+				continue
+			}
+			if cm, ok := a.childCollect[sib]; ok && len(cm.set) > 0 {
+				groups = append(groups, Group{Entries: cm.set, Population: cm.descendants + 1})
+				pop += cm.descendants + 1
+			}
+		}
+		set := Compact(a.rng, a.cfg.SetSize, groups)
+		msg := &distributeMsg{epoch: a.epoch, set: set, population: pop}
+		a.ep.SendControl(child, msg, 16+len(set)*EntryWireSize)
+	}
+}
+
+// sendCollect sends this node's collect set (own entry compacted with
+// all children's collect sets) to its parent.
+func (a *Agent) sendCollect() {
+	groups := []Group{{Entries: []Entry{a.ownEntry()}, Population: 1}}
+	desc := 0
+	for _, c := range a.children {
+		if cm, ok := a.childCollect[c]; ok && cm.epoch == a.epoch {
+			groups = append(groups, Group{Entries: cm.set, Population: cm.descendants + 1})
+			desc += cm.descendants + 1
+		}
+	}
+	set := Compact(a.rng, a.cfg.SetSize, groups)
+	msg := &collectMsg{epoch: a.epoch, set: set, descendants: desc}
+	a.ep.SendControl(a.parent, msg, 24+len(set)*EntryWireSize)
+}
+
+// HandleControl processes a control payload if it is a RanSub message,
+// returning true when consumed. Protocols sharing the endpoint call
+// this first from their control handler.
+func (a *Agent) HandleControl(from int, payload any) bool {
+	switch m := payload.(type) {
+	case *distributeMsg:
+		a.onDistribute(m)
+		return true
+	case *collectMsg:
+		a.onCollect(from, m)
+		return true
+	}
+	return false
+}
+
+func (a *Agent) onDistribute(m *distributeMsg) {
+	// Epochs only move forward; drop stale or duplicate distributes.
+	if a.epochsCompleted > 0 && m.epoch <= a.epoch {
+		return
+	}
+	a.epoch = m.epoch
+	a.epochsCompleted++
+	a.lastDistribute = *m
+	if a.OnDistribute != nil && len(m.set) > 0 {
+		a.OnDistribute(m.epoch, m.set)
+	}
+	if len(a.children) == 0 {
+		// Leaf: the distribute phase has reached the bottom; start the
+		// collect phase for this epoch.
+		a.sendCollect()
+		return
+	}
+	// Expect fresh collects from every child this epoch.
+	a.collectsWaited = make(map[int]bool, len(a.children))
+	for _, c := range a.children {
+		a.collectsWaited[c] = true
+	}
+	a.sendDistributes(*m)
+}
+
+func (a *Agent) onCollect(from int, m *collectMsg) {
+	a.childCollect[from] = *m
+	if m.epoch != a.epoch {
+		return // stale collect: keep the state, don't advance the phase
+	}
+	if a.collectsWaited != nil {
+		delete(a.collectsWaited, from)
+	}
+	if len(a.collectsWaited) == 0 {
+		if a.IsRoot() {
+			a.maybeAdvance()
+		} else {
+			a.sendCollect()
+		}
+	}
+}
+
+// TotalPopulation returns this node's view of the participant count:
+// its own subtree plus the population of the last distribute set.
+func (a *Agent) TotalPopulation() int {
+	pop := 1
+	for _, c := range a.children {
+		pop += a.ChildSubtreeSize(c) - 1 + 1
+	}
+	return pop + a.lastDistribute.population
+}

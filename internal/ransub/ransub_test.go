@@ -1,0 +1,300 @@
+package ransub
+
+import (
+	"math/rand"
+	"testing"
+
+	"bullet/internal/netem"
+	"bullet/internal/overlay"
+	"bullet/internal/sim"
+	"bullet/internal/sketch"
+	"bullet/internal/topology"
+	"bullet/internal/transport"
+)
+
+func TestCompactSizeAndMembers(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	mk := func(ids ...int) []Entry {
+		var es []Entry
+		for _, id := range ids {
+			es = append(es, Entry{Node: id})
+		}
+		return es
+	}
+	out := Compact(rng, 4, []Group{
+		{Entries: mk(1, 2, 3), Population: 30},
+		{Entries: mk(4, 5), Population: 2},
+	})
+	if len(out) != 4 {
+		t.Fatalf("size=%d want 4", len(out))
+	}
+	seen := map[int]bool{}
+	for _, e := range out {
+		if e.Node < 1 || e.Node > 5 {
+			t.Fatalf("alien entry %d", e.Node)
+		}
+		if seen[e.Node] {
+			t.Fatalf("duplicate entry %d (sampling with replacement?)", e.Node)
+		}
+		seen[e.Node] = true
+	}
+}
+
+func TestCompactWeighting(t *testing.T) {
+	// Group A has population 1000 sampled by 2 entries; group B has
+	// population 10 sampled by 2 entries. Picking 2 of the 4, A's
+	// members must dominate across trials.
+	rng := rand.New(rand.NewSource(2))
+	countA := 0
+	trials := 2000
+	for i := 0; i < trials; i++ {
+		out := Compact(rng, 2, []Group{
+			{Entries: []Entry{{Node: 1}, {Node: 2}}, Population: 1000},
+			{Entries: []Entry{{Node: 3}, {Node: 4}}, Population: 10},
+		})
+		for _, e := range out {
+			if e.Node <= 2 {
+				countA++
+			}
+		}
+	}
+	frac := float64(countA) / float64(2*trials)
+	if frac < 0.9 {
+		t.Fatalf("high-population group underrepresented: %.3f", frac)
+	}
+}
+
+func TestCompactEmptyAndSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if out := Compact(rng, 5, nil); len(out) != 0 {
+		t.Fatalf("compact of nothing = %v", out)
+	}
+	out := Compact(rng, 10, []Group{{Entries: []Entry{{Node: 7}}, Population: 1}})
+	if len(out) != 1 || out[0].Node != 7 {
+		t.Fatalf("small compact = %v", out)
+	}
+	// Zero-population groups are ignored.
+	out = Compact(rng, 10, []Group{{Entries: []Entry{{Node: 9}}, Population: 0}})
+	if len(out) != 0 {
+		t.Fatal("zero-population group sampled")
+	}
+}
+
+// world wires RanSub agents for all clients over a random tree.
+type world struct {
+	eng    *sim.Engine
+	net    *netem.Network
+	g      *topology.Graph
+	tree   *overlay.Tree
+	agents map[int]*Agent
+	eps    map[int]*transport.Endpoint
+}
+
+func buildWorld(t *testing.T, seed int64, clients int, cfg Config) *world {
+	t.Helper()
+	g, err := topology.Generate(topology.Config{
+		TransitDomains: 2, TransitPerDomain: 3,
+		StubDomains: 8, StubDomainSize: 5,
+		Clients: clients, Bandwidth: topology.MediumBandwidth, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(seed)
+	net := netem.New(eng, g, topology.NewRouter(g), netem.Config{})
+	tree, err := overlay.Random(g.Clients, g.Clients[0], 4, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &world{eng: eng, net: net, g: g, tree: tree,
+		agents: make(map[int]*Agent), eps: make(map[int]*transport.Endpoint)}
+	perms := sketch.NewPermutations(sketch.DefaultEntries, seed)
+	for _, n := range g.Clients {
+		ep := transport.NewEndpoint(net, n)
+		parent := -1
+		if p, ok := tree.Parent(n); ok {
+			parent = p
+		}
+		ag := NewAgent(ep, cfg, parent, tree.Children(n))
+		node := n
+		tk := sketch.NewTicket(perms)
+		tk.Add(uint64(node)) // distinct ticket content per node
+		ag.TicketFn = func() *sketch.Ticket { return tk }
+		ep.OnControl(func(from int, payload any, size int) {
+			ag.HandleControl(from, payload)
+		})
+		w.agents[n] = ag
+		w.eps[n] = ep
+	}
+	return w
+}
+
+func TestRanSubDeliversToAll(t *testing.T) {
+	w := buildWorld(t, 1, 30, DefaultConfig())
+	got := make(map[int]int)
+	for n, ag := range w.agents {
+		n := n
+		ag.OnDistribute = func(epoch int, set []Entry) { got[n]++ }
+	}
+	w.agents[w.tree.Root].Start()
+	w.eng.Run(30 * sim.Second)
+	for _, n := range w.g.Clients {
+		if n == w.tree.Root {
+			continue
+		}
+		if got[n] < 3 {
+			t.Fatalf("node %d received %d distributes in 30s (epoch 5s)", n, got[n])
+		}
+	}
+}
+
+func TestRanSubNondescendants(t *testing.T) {
+	w := buildWorld(t, 2, 30, DefaultConfig())
+	bad := 0
+	for n, ag := range w.agents {
+		n := n
+		ag.OnDistribute = func(epoch int, set []Entry) {
+			for _, e := range set {
+				if e.Node != n && w.tree.IsDescendant(n, e.Node) {
+					bad++
+				}
+				if e.Node == n {
+					bad++ // a node must not be offered itself
+				}
+			}
+		}
+	}
+	w.agents[w.tree.Root].Start()
+	w.eng.Run(40 * sim.Second)
+	if bad > 0 {
+		t.Fatalf("%d descendant/self entries leaked into distribute sets", bad)
+	}
+}
+
+func TestRanSubSetSizeBounded(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SetSize = 6
+	w := buildWorld(t, 3, 25, cfg)
+	for _, ag := range w.agents {
+		ag.OnDistribute = func(epoch int, set []Entry) {
+			if len(set) > 6 {
+				t.Fatalf("set size %d > 6", len(set))
+			}
+			for _, e := range set {
+				if e.Ticket == nil {
+					t.Fatal("entry without ticket")
+				}
+			}
+		}
+	}
+	w.agents[w.tree.Root].Start()
+	w.eng.Run(20 * sim.Second)
+}
+
+func TestRanSubDescendantCounts(t *testing.T) {
+	w := buildWorld(t, 4, 30, DefaultConfig())
+	w.agents[w.tree.Root].Start()
+	w.eng.Run(30 * sim.Second)
+	for _, n := range w.g.Clients {
+		ag := w.agents[n]
+		for _, c := range w.tree.Children(n) {
+			want := w.tree.Descendants(c)
+			if got := ag.Descendants(c); got != want {
+				t.Fatalf("node %d child %d descendants=%d want %d", n, c, got, want)
+			}
+		}
+	}
+}
+
+func TestRanSubUniformity(t *testing.T) {
+	// Over many epochs, each non-descendant of a leaf should appear in
+	// its distribute sets with roughly equal frequency.
+	cfg := DefaultConfig()
+	cfg.Epoch = sim.Second // fast epochs for sampling
+	cfg.EpochTimeout = sim.Second
+	w := buildWorld(t, 5, 20, cfg)
+	// Pick a leaf.
+	var leaf int
+	for _, n := range w.g.Clients {
+		if len(w.tree.Children(n)) == 0 {
+			leaf = n
+			break
+		}
+	}
+	freq := make(map[int]int)
+	epochs := 0
+	w.agents[leaf].OnDistribute = func(epoch int, set []Entry) {
+		epochs++
+		for _, e := range set {
+			freq[e.Node]++
+		}
+	}
+	w.agents[w.tree.Root].Start()
+	w.eng.Run(120 * sim.Second)
+	if epochs < 50 {
+		t.Fatalf("only %d epochs", epochs)
+	}
+	// 19 candidates, 10 slots: expectation ~ epochs*10/19 each.
+	exp := float64(epochs) * 10.0 / 19.0
+	for _, n := range w.g.Clients {
+		if n == leaf {
+			continue
+		}
+		got := float64(freq[n])
+		if got < exp*0.5 || got > exp*1.5 {
+			t.Fatalf("node %d appeared %v times, expected ~%v (non-uniform)", n, got, exp)
+		}
+	}
+}
+
+func TestRanSubFailureDetection(t *testing.T) {
+	cfg := DefaultConfig()
+	w := buildWorld(t, 6, 30, cfg)
+	root := w.tree.Root
+	kids := w.tree.Children(root)
+	if len(kids) == 0 {
+		t.Skip("root has no children in this draw")
+	}
+	victim := kids[0]
+	w.agents[root].Start()
+	w.eng.Run(20 * sim.Second)
+	before := w.agents[root].EpochsCompleted()
+	w.eps[victim].Fail()
+	w.eng.Run(60 * sim.Second)
+	after := w.agents[root].EpochsCompleted()
+	if after-before < 2 {
+		t.Fatalf("epochs stalled after child failure with detection on: %d -> %d", before, after)
+	}
+}
+
+func TestRanSubStallsWithoutFailureDetection(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FailureDetection = false
+	w := buildWorld(t, 7, 30, cfg)
+	root := w.tree.Root
+	kids := w.tree.Children(root)
+	if len(kids) == 0 {
+		t.Skip("root has no children in this draw")
+	}
+	victim := kids[0]
+	w.agents[root].Start()
+	w.eng.Run(20 * sim.Second)
+	w.eps[victim].Fail()
+	w.eng.Run(5 * sim.Second) // let in-flight epochs settle
+	stalled := w.agents[root].EpochsCompleted()
+	w.eng.Run(120 * sim.Second)
+	if got := w.agents[root].EpochsCompleted(); got > stalled+1 {
+		t.Fatalf("epochs advanced (%d -> %d) despite disabled failure detection", stalled, got)
+	}
+}
+
+func TestRanSubEpochPacing(t *testing.T) {
+	// Epochs must not run faster than the configured minimum length.
+	cfg := DefaultConfig()
+	w := buildWorld(t, 8, 15, cfg)
+	w.agents[w.tree.Root].Start()
+	w.eng.Run(52 * sim.Second)
+	if got := w.agents[w.tree.Root].EpochsCompleted(); got > 11 {
+		t.Fatalf("%d epochs in 52s with 5s minimum", got)
+	}
+}

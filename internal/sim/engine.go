@@ -1,0 +1,199 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock and a priority queue of events.
+// Events scheduled for the same instant fire in scheduling order, so a
+// run is a pure function of the initial configuration and RNG seeds.
+// All protocol code in this repository (netem, TFRC, RanSub, Bullet)
+// executes inside engine callbacks on a single goroutine.
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+)
+
+// Time is a virtual timestamp in nanoseconds since the start of the run.
+type Time int64
+
+// Duration is a virtual time span in nanoseconds.
+type Duration = Time
+
+// Common durations, mirroring time.Duration constants.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Seconds converts a floating point number of seconds to a Duration.
+func Seconds(s float64) Duration { return Duration(s * float64(Second)) }
+
+// ToSeconds converts a Time or Duration to floating point seconds.
+func (t Time) ToSeconds() float64 { return float64(t) / float64(Second) }
+
+// Timer is a handle for a scheduled event. Cancel prevents the callback
+// from running if it has not fired yet. For periodic timers created with
+// Every, Cancel stops the whole series.
+type Timer struct {
+	ev        *event
+	cancelled bool
+}
+
+// Cancel stops the timer. It is safe to call multiple times and after
+// the event has fired.
+func (t *Timer) Cancel() {
+	if t == nil {
+		return
+	}
+	t.cancelled = true
+	if t.ev != nil {
+		t.ev.fn = nil
+	}
+}
+
+// Stopped reports whether the timer was cancelled or has fired (and,
+// for periodic timers, will not fire again).
+func (t *Timer) Stopped() bool {
+	return t == nil || t.cancelled || t.ev == nil || t.ev.fn == nil
+}
+
+type event struct {
+	at  Time
+	seq uint64 // tie-break: FIFO among same-instant events
+	fn  func()
+	idx int
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a deterministic discrete-event scheduler.
+// The zero value is not usable; construct with NewEngine.
+type Engine struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	stopped bool
+	seed    int64
+	fired   uint64
+}
+
+// NewEngine returns an engine with the clock at zero. The seed is used
+// to derive per-entity RNG streams via RNG.
+func NewEngine(seed int64) *Engine {
+	return &Engine{seed: seed}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Seed returns the master seed the engine was constructed with.
+func (e *Engine) Seed() int64 { return e.seed }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events still queued (including
+// cancelled timers that have not been popped yet).
+func (e *Engine) Pending() int { return len(e.events) }
+
+// RNG derives a deterministic random stream for the given entity id.
+// Distinct ids yield independent streams; the same (seed, id) pair
+// always yields the same stream.
+func (e *Engine) RNG(id int64) *rand.Rand {
+	// splitmix64-style mixing of seed and id.
+	z := uint64(e.seed)*0x9E3779B97F4A7C15 + uint64(id)*0xBF58476D1CE4E5B9 + 0x94D049BB133111EB
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return rand.New(rand.NewSource(int64(z)))
+}
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// (t < Now) runs the event at the current time, after already-queued
+// same-instant events. Returns a cancellable Timer.
+func (e *Engine) At(t Time, fn func()) *Timer {
+	if t < e.now {
+		t = e.now
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Duration, fn func()) *Timer {
+	return e.At(e.now+d, fn)
+}
+
+// Every schedules fn to run every period, starting after the first
+// period elapses. The returned Timer cancels the whole series.
+func (e *Engine) Every(period Duration, fn func()) *Timer {
+	t := &Timer{}
+	var tick func()
+	tick = func() {
+		fn()
+		if !t.cancelled {
+			t.ev = e.At(e.now+period, tick).ev
+		}
+	}
+	t.ev = e.At(e.now+period, tick).ev
+	return t
+}
+
+// Run executes events until the queue drains, the clock passes until,
+// or Stop is called. It returns the time of the last executed event.
+func (e *Engine) Run(until Time) Time {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		ev := e.events[0]
+		if ev.at > until {
+			break
+		}
+		heap.Pop(&e.events)
+		if ev.fn == nil {
+			continue // cancelled
+		}
+		e.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		e.fired++
+		fn()
+	}
+	if e.now < until && !e.stopped {
+		e.now = until
+	}
+	return e.now
+}
+
+// Stop halts Run after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }

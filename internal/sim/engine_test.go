@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.At(30*Millisecond, func() { got = append(got, 3) })
+	e.At(10*Millisecond, func() { got = append(got, 1) })
+	e.At(20*Millisecond, func() { got = append(got, 2) })
+	e.Run(Second)
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEngineSameInstantFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5*Millisecond, func() { got = append(got, i) })
+	}
+	e.Run(Second)
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-instant events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	tm := e.At(10*Millisecond, func() { fired = true })
+	tm.Cancel()
+	e.Run(Second)
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+	if !tm.Stopped() {
+		t.Fatal("cancelled timer not stopped")
+	}
+}
+
+func TestEngineAfterAndNow(t *testing.T) {
+	e := NewEngine(1)
+	var at Time
+	e.After(250*Millisecond, func() { at = e.Now() })
+	e.Run(Second)
+	if at != 250*Millisecond {
+		t.Fatalf("After fired at %v, want 250ms", at)
+	}
+	if e.Now() != Second {
+		t.Fatalf("clock advanced to %v, want until=1s", e.Now())
+	}
+}
+
+func TestEngineEvery(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	var tick *Timer
+	tick = e.Every(100*Millisecond, func() {
+		n++
+		if n == 5 {
+			tick.Cancel()
+		}
+	})
+	e.Run(10 * Second)
+	if n != 5 {
+		t.Fatalf("Every fired %d times, want 5", n)
+	}
+}
+
+func TestEngineRunUntilStopsAtBoundary(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	e.At(2*Second, func() { fired++ })
+	e.Run(Second)
+	if fired != 0 {
+		t.Fatal("event past until fired")
+	}
+	e.Run(3 * Second)
+	if fired != 1 {
+		t.Fatal("event not fired on extended run")
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	e.At(10*Millisecond, func() { fired++; e.Stop() })
+	e.At(20*Millisecond, func() { fired++ })
+	e.Run(Second)
+	if fired != 1 {
+		t.Fatalf("Stop did not halt run; fired=%d", fired)
+	}
+}
+
+func TestEngineSchedulingInPast(t *testing.T) {
+	e := NewEngine(1)
+	var order []string
+	e.At(10*Millisecond, func() {
+		e.At(5*Millisecond, func() { order = append(order, "past") })
+		e.At(10*Millisecond, func() { order = append(order, "now") })
+	})
+	e.Run(Second)
+	if len(order) != 2 || order[0] != "past" || order[1] != "now" {
+		t.Fatalf("past-scheduled events mishandled: %v", order)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewEngine(42).RNG(7)
+	b := NewEngine(42).RNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same (seed,id) produced different streams")
+		}
+	}
+	c := NewEngine(42).RNG(8)
+	same := 0
+	d := NewEngine(42).RNG(7)
+	for i := 0; i < 100; i++ {
+		if c.Int63() == d.Int63() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("distinct ids produced correlated streams (%d collisions)", same)
+	}
+}
+
+func TestSecondsRoundTrip(t *testing.T) {
+	if Seconds(1.5) != 1500*Millisecond {
+		t.Fatalf("Seconds(1.5)=%v", Seconds(1.5))
+	}
+	if got := (2500 * Millisecond).ToSeconds(); got != 2.5 {
+		t.Fatalf("ToSeconds=%v", got)
+	}
+}
+
+// Property: events always fire in nondecreasing time order regardless of
+// insertion order.
+func TestEngineOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine(99)
+		var times []Time
+		for _, d := range delays {
+			e.At(Time(d)*Microsecond, func() { times = append(times, e.Now()) })
+		}
+		e.Run(Time(1 << 40))
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return len(times) == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineFiredCount(t *testing.T) {
+	e := NewEngine(1)
+	for i := 0; i < 25; i++ {
+		e.At(Time(i)*Millisecond, func() {})
+	}
+	e.Run(Second)
+	if e.Fired() != 25 {
+		t.Fatalf("Fired=%d want 25", e.Fired())
+	}
+}

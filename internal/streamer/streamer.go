@@ -1,0 +1,139 @@
+// Package streamer implements the paper's §4.2 baseline: a simple
+// application that streams sequentially numbered packets from the root
+// of an arbitrary overlay tree, each node forwarding every received
+// packet to its children over TFRC flows as fast as the transport
+// allows. There is no recovery: whatever the transport or network
+// drops is lost, so delivered bandwidth is monotonically decreasing
+// down the tree.
+package streamer
+
+import (
+	"fmt"
+
+	"bullet/internal/metrics"
+	"bullet/internal/netem"
+	"bullet/internal/overlay"
+	"bullet/internal/sim"
+	"bullet/internal/transport"
+	"bullet/internal/workset"
+)
+
+// Config controls a streaming run.
+type Config struct {
+	// RateKbps is the source streaming rate.
+	RateKbps float64
+	// PacketSize is the application payload per packet in bytes.
+	PacketSize int
+	// Start is when the source begins streaming.
+	Start sim.Time
+	// Duration is how long the source streams.
+	Duration sim.Duration
+}
+
+// Node is one streaming participant.
+type Node struct {
+	ep       *transport.Endpoint
+	id       int
+	parent   int
+	children []int
+	flows    map[int]*transport.Flow
+	seen     *workset.Set
+	col      *metrics.Collector
+}
+
+// System is a deployed streaming overlay.
+type System struct {
+	Nodes map[int]*Node
+	Tree  *overlay.Tree
+	cfg   Config
+	col   *metrics.Collector
+	eng   *sim.Engine
+}
+
+// Deploy creates endpoints and flows for every tree participant and
+// schedules the source. Metrics go to col.
+func Deploy(net *netem.Network, tree *overlay.Tree, cfg Config, col *metrics.Collector) (*System, error) {
+	if cfg.PacketSize <= 0 {
+		cfg.PacketSize = 1500
+	}
+	if cfg.RateKbps <= 0 {
+		return nil, fmt.Errorf("streamer: rate %v Kbps", cfg.RateKbps)
+	}
+	sys := &System{Nodes: make(map[int]*Node), Tree: tree, cfg: cfg, col: col, eng: net.Engine()}
+	for _, id := range tree.Participants {
+		parent := -1
+		if p, ok := tree.Parent(id); ok {
+			parent = p
+		}
+		n := &Node{
+			ep:       transport.NewEndpoint(net, id),
+			id:       id,
+			parent:   parent,
+			children: tree.Children(id),
+			flows:    make(map[int]*transport.Flow),
+			seen:     workset.New(),
+			col:      col,
+		}
+		col.Track(id)
+		for _, c := range n.children {
+			f, err := n.ep.OpenFlow(c, cfg.PacketSize)
+			if err != nil {
+				return nil, err
+			}
+			n.flows[c] = f
+		}
+		id := id
+		n.ep.OnData(func(from int, seq uint64, size int) { sys.onData(id, from, seq, size) })
+		sys.Nodes[id] = n
+	}
+	// Source pump: one packet every PacketSize/rate.
+	bytesPerSec := cfg.RateKbps * 1000 / 8
+	interval := sim.Duration(float64(cfg.PacketSize) / bytesPerSec * float64(sim.Second))
+	if interval < sim.Microsecond {
+		interval = sim.Microsecond
+	}
+	var seq uint64
+	end := cfg.Start + cfg.Duration
+	var pump func()
+	pump = func() {
+		if sys.eng.Now() >= end {
+			return
+		}
+		root := sys.Nodes[tree.Root]
+		root.seen.Add(seq)
+		root.forward(seq, cfg.PacketSize)
+		seq++
+		sys.eng.After(interval, pump)
+	}
+	sys.eng.At(cfg.Start, pump)
+	return sys, nil
+}
+
+func (sys *System) onData(id, from int, seq uint64, size int) {
+	n := sys.Nodes[id]
+	now := sys.eng.Now()
+	sys.col.Add(now, id, metrics.Raw, size)
+	if from == n.parent {
+		sys.col.Add(now, id, metrics.Parent, size)
+	}
+	if n.seen.Add(seq) {
+		sys.col.Add(now, id, metrics.Useful, size)
+		n.forward(seq, size)
+	} else {
+		sys.col.Add(now, id, metrics.Duplicate, size)
+	}
+}
+
+// forward pushes the packet to every child, best effort.
+func (n *Node) forward(seq uint64, size int) {
+	for _, c := range n.children {
+		n.flows[c].TrySend(seq, size)
+	}
+}
+
+// Fail crashes the node with the given id.
+func (sys *System) Fail(id int) {
+	if n, ok := sys.Nodes[id]; ok {
+		n.ep.Fail()
+	}
+}

@@ -1,0 +1,145 @@
+package topology
+
+import (
+	"container/heap"
+	"math"
+
+	"bullet/internal/sim"
+)
+
+// Router answers fixed shortest-path routing queries over a Graph,
+// modeling IP unicast routing (assumption 1 of §4.1: the routing path
+// between any two overlay participants is fixed). Paths are shortest by
+// propagation delay. Shortest-path trees are computed lazily per source
+// and cached, so repeated queries from the same participant are O(path).
+type Router struct {
+	g     *Graph
+	cache map[int]*spTree
+}
+
+type spTree struct {
+	prevLink []int32 // incoming link on the shortest path, -1 at source
+	prevNode []int32
+	dist     []int64 // nanoseconds of propagation delay; -1 = unreachable
+}
+
+// NewRouter creates a router for g.
+func NewRouter(g *Graph) *Router {
+	return &Router{g: g, cache: make(map[int]*spTree)}
+}
+
+// Graph returns the underlying topology.
+func (r *Router) Graph() *Graph { return r.g }
+
+type pqItem struct {
+	node int32
+	dist int64
+}
+type pq []pqItem
+
+func (q pq) Len() int           { return len(q) }
+func (q pq) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+
+const unreachable = int64(-1)
+
+func (r *Router) tree(src int) *spTree {
+	if t, ok := r.cache[src]; ok {
+		return t
+	}
+	n := len(r.g.Nodes)
+	t := &spTree{
+		prevLink: make([]int32, n),
+		prevNode: make([]int32, n),
+		dist:     make([]int64, n),
+	}
+	for i := range t.dist {
+		t.dist[i] = unreachable
+		t.prevLink[i] = -1
+		t.prevNode[i] = -1
+	}
+	t.dist[src] = 0
+	q := pq{{node: int32(src), dist: 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(pqItem)
+		if t.dist[it.node] != it.dist {
+			continue // stale entry
+		}
+		for _, he := range r.g.adj[it.node] {
+			l := &r.g.Links[he.link]
+			nd := it.dist + int64(l.Delay)
+			if t.dist[he.to] == unreachable || nd < t.dist[he.to] {
+				t.dist[he.to] = nd
+				t.prevLink[he.to] = he.link
+				t.prevNode[he.to] = it.node
+				heap.Push(&q, pqItem{node: he.to, dist: nd})
+			}
+		}
+	}
+	r.cache[src] = t
+	return t
+}
+
+// Path returns the link IDs along the shortest path from -> to, in
+// traversal order. It returns nil if to is unreachable, and an empty
+// slice if from == to.
+func (r *Router) Path(from, to int) []int32 {
+	if from == to {
+		return []int32{}
+	}
+	t := r.tree(from)
+	if t.dist[to] == unreachable {
+		return nil
+	}
+	var rev []int32
+	for n := int32(to); n != int32(from); n = t.prevNode[n] {
+		rev = append(rev, t.prevLink[n])
+	}
+	// reverse in place
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Delay returns the one-way propagation delay of the shortest path.
+func (r *Router) Delay(from, to int) sim.Duration {
+	if from == to {
+		return 0
+	}
+	t := r.tree(from)
+	d := t.dist[to]
+	if d == unreachable {
+		return -1
+	}
+	return sim.Duration(d)
+}
+
+// Reachable reports whether to is reachable from from.
+func (r *Router) Reachable(from, to int) bool {
+	return from == to || r.tree(from).dist[to] != unreachable
+}
+
+// PathLoss returns the end-to-end loss probability of the path
+// (1 - prod(1-l_e)), per §4.1's l(o) definition.
+func (r *Router) PathLoss(from, to int) float64 {
+	keep := 1.0
+	for _, lid := range r.Path(from, to) {
+		keep *= 1 - r.g.Links[lid].Loss
+	}
+	return 1 - keep
+}
+
+// Bottleneck returns the minimum link capacity (bytes/s) along the path,
+// or +Inf for the empty path.
+func (r *Router) Bottleneck(from, to int) float64 {
+	min := math.Inf(1)
+	for _, lid := range r.Path(from, to) {
+		if c := r.g.Links[lid].Bytes; c < min {
+			min = c
+		}
+	}
+	return min
+}

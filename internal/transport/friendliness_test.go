@@ -1,0 +1,110 @@
+package transport
+
+import (
+	"testing"
+
+	"bullet/internal/netem"
+	"bullet/internal/sim"
+	"bullet/internal/topology"
+)
+
+// TestTFRCFriendlyWithAIMD verifies the paper's core transport
+// property (§2.4): a TFRC flow sharing a bottleneck with a TCP-like
+// AIMD flow obtains a comparable — neither starved nor dominating —
+// share of the link.
+func TestTFRCFriendlyWithAIMD(t *testing.T) {
+	g, err := topology.Generate(topology.Config{
+		TransitDomains: 1, TransitPerDomain: 2,
+		StubDomains: 3, StubDomainSize: 4,
+		Clients: 8, Bandwidth: topology.MediumBandwidth, Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(31)
+	net := netem.New(eng, g, topology.NewRouter(g), netem.Config{})
+	src, d1, d2 := g.Clients[0], g.Clients[1], g.Clients[2]
+	a := NewEndpoint(net, src)
+	e1, e2 := NewEndpoint(net, d1), NewEndpoint(net, d2)
+	var tfrcBytes, aimdBytes int
+	e1.OnData(func(_ int, _ uint64, size int) { tfrcBytes += size })
+	e2.OnData(func(_ int, _ uint64, size int) { aimdBytes += size })
+	f1, err := a.OpenFlow(d1, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := a.OpenFlowAIMD(d2, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both flows saturate; they share src's access link.
+	var seq1, seq2 uint64
+	var pump func()
+	pump = func() {
+		if eng.Now() >= 120*sim.Second {
+			return
+		}
+		for f1.TrySend(seq1, 1000) {
+			seq1++
+		}
+		for f2.TrySend(seq2, 1000) {
+			seq2++
+		}
+		eng.After(10*sim.Millisecond, pump)
+	}
+	pump()
+	eng.Run(120 * sim.Second)
+
+	if tfrcBytes == 0 || aimdBytes == 0 {
+		t.Fatalf("starvation: tfrc=%d aimd=%d", tfrcBytes, aimdBytes)
+	}
+	// Measure over the second half only (both past slow start).
+	ratio := float64(tfrcBytes) / float64(aimdBytes)
+	if ratio < 0.25 || ratio > 4 {
+		t.Fatalf("unfriendly sharing: TFRC/AIMD byte ratio %.2f", ratio)
+	}
+}
+
+// TestAIMDSawtooth checks the controller's basic AIMD dynamics.
+func TestAIMDSawtooth(t *testing.T) {
+	g, err := topology.Generate(topology.Config{
+		TransitDomains: 1, TransitPerDomain: 2,
+		StubDomains: 2, StubDomainSize: 3,
+		Clients: 4, Bandwidth: topology.LowBandwidth, Seed: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(32)
+	net := netem.New(eng, g, topology.NewRouter(g), netem.Config{})
+	src, dst := g.Clients[0], g.Clients[1]
+	a := NewEndpoint(net, src)
+	b := NewEndpoint(net, dst)
+	var bytes int
+	b.OnData(func(_ int, _ uint64, size int) { bytes += size })
+	f, err := a.OpenFlowAIMD(dst, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seq uint64
+	var pump func()
+	pump = func() {
+		if eng.Now() >= 60*sim.Second {
+			return
+		}
+		for f.TrySend(seq, 1000) {
+			seq++
+		}
+		eng.After(10*sim.Millisecond, pump)
+	}
+	pump()
+	eng.Run(60 * sim.Second)
+	bn := net.Router().Bottleneck(src, dst)
+	got := float64(bytes) / 60
+	if got < 0.3*bn {
+		t.Fatalf("AIMD achieved %.0f of %.0f bottleneck", got, bn)
+	}
+	if got > 1.05*bn {
+		t.Fatalf("AIMD exceeded the physical bottleneck: %.0f > %.0f", got, bn)
+	}
+}

@@ -1,0 +1,365 @@
+// Package transport provides per-node endpoints with TFRC-paced data
+// flows and reliable small control messages over the emulated network.
+// It plays the role MACEDON's messaging substrate played for the
+// paper's implementations: every protocol in this repository (Bullet,
+// tree streaming, gossip, anti-entropy) moves bytes exclusively through
+// this layer, so comparisons reflect algorithmic differences.
+package transport
+
+import (
+	"fmt"
+
+	"bullet/internal/netem"
+	"bullet/internal/sim"
+	"bullet/internal/tfrc"
+)
+
+// FeedbackSize is the wire size of a TFRC feedback report.
+const FeedbackSize = 48
+
+// DataHeaderSize is the per-packet transport header (flow id, flow
+// sequence, timestamp, RTT echo), added to application payload size.
+const DataHeaderSize = 24
+
+type flowKey struct {
+	src int
+	id  uint32
+}
+
+type dataMsg struct {
+	flowID  uint32
+	flowSeq uint64
+	ts      float64 // sender send time, seconds
+	rtt     float64 // sender's RTT estimate
+}
+
+type feedbackMsg struct {
+	flowID uint32
+	fb     tfrc.Feedback
+}
+
+type closeMsg struct {
+	flowID uint32
+}
+
+// Controller is the congestion-control half of a sending flow. The
+// default is the TFRC sender; an AIMD (TCP-like) controller is
+// available for TCP-friendliness experiments.
+type Controller interface {
+	// TrySend consumes budget for size bytes if allowed right now.
+	TrySend(now float64, size int) bool
+	// OnFeedback applies a receiver report.
+	OnFeedback(now float64, fb tfrc.Feedback)
+	// Rate returns the allowed rate in bytes/second.
+	Rate() float64
+	// RTT returns the smoothed RTT estimate in seconds.
+	RTT() float64
+	// Budget returns the currently available bytes.
+	Budget(now float64) float64
+}
+
+// DataHandler is invoked on arrival of an application data packet.
+type DataHandler func(from int, seq uint64, size int)
+
+// ControlHandler is invoked on arrival of a protocol control message.
+type ControlHandler func(from int, payload any, size int)
+
+// Endpoint is one node's attachment to the network.
+type Endpoint struct {
+	net  *netem.Network
+	eng  *sim.Engine
+	node int
+
+	nextFlow  uint32
+	sendFlows map[uint32]*Flow
+	recvFlows map[flowKey]*recvFlow
+
+	onData    DataHandler
+	onControl ControlHandler
+
+	failed bool
+
+	// Accounting. Protocol control (messages sent via SendControl) is
+	// tracked separately from transport-internal control (TFRC
+	// feedback, flow teardown), mirroring how the paper reports
+	// "Bullet mesh maintenance" overhead.
+	dataBytesIn     uint64
+	dataBytesOut    uint64
+	controlBytesIn  uint64
+	controlBytesOut uint64
+	transportCtlIn  uint64
+	transportCtlOut uint64
+}
+
+// NewEndpoint attaches node to the network and registers its handler.
+func NewEndpoint(net *netem.Network, node int) *Endpoint {
+	ep := &Endpoint{
+		net:       net,
+		eng:       net.Engine(),
+		node:      node,
+		sendFlows: make(map[uint32]*Flow),
+		recvFlows: make(map[flowKey]*recvFlow),
+	}
+	net.Register(node, ep.onPacket)
+	return ep
+}
+
+// Node returns the graph node this endpoint is attached to.
+func (ep *Endpoint) Node() int { return ep.node }
+
+// Engine returns the simulation engine.
+func (ep *Endpoint) Engine() *sim.Engine { return ep.eng }
+
+// OnData sets the application data callback.
+func (ep *Endpoint) OnData(h DataHandler) { ep.onData = h }
+
+// OnControl sets the protocol control callback.
+func (ep *Endpoint) OnControl(h ControlHandler) { ep.onControl = h }
+
+// Fail simulates a node crash: the endpoint stops receiving, all flows
+// stop sending, and all timers become inert.
+func (ep *Endpoint) Fail() {
+	ep.failed = true
+	ep.net.Unregister(ep.node)
+	for _, f := range ep.sendFlows {
+		f.closed = true
+	}
+	for _, rf := range ep.recvFlows {
+		rf.stop()
+	}
+}
+
+// Failed reports whether Fail was called.
+func (ep *Endpoint) Failed() bool { return ep.failed }
+
+// SendControl transmits a reliable control message of the given wire
+// size to another node.
+func (ep *Endpoint) SendControl(to int, payload any, size int) {
+	if ep.failed {
+		return
+	}
+	ep.controlBytesOut += uint64(size)
+	ep.net.Send(netem.Packet{
+		Kind: netem.Control, Size: size,
+		From: ep.node, To: to, Payload: payload,
+	})
+}
+
+// ControlBytes returns (in, out) protocol control byte counters.
+func (ep *Endpoint) ControlBytes() (in, out uint64) {
+	return ep.controlBytesIn, ep.controlBytesOut
+}
+
+// TransportControlBytes returns (in, out) transport-internal control
+// byte counters (TFRC feedback and teardown).
+func (ep *Endpoint) TransportControlBytes() (in, out uint64) {
+	return ep.transportCtlIn, ep.transportCtlOut
+}
+
+// sendTransportControl transmits transport-internal control.
+func (ep *Endpoint) sendTransportControl(to int, payload any, size int) {
+	if ep.failed {
+		return
+	}
+	ep.transportCtlOut += uint64(size)
+	ep.net.Send(netem.Packet{
+		Kind: netem.Control, Size: size,
+		From: ep.node, To: to, Payload: payload,
+	})
+}
+
+// DataBytes returns (in, out) data byte counters.
+func (ep *Endpoint) DataBytes() (in, out uint64) {
+	return ep.dataBytesIn, ep.dataBytesOut
+}
+
+// Flow is the sending half of a TFRC-paced unidirectional data flow.
+type Flow struct {
+	ep     *Endpoint
+	id     uint32
+	to     int
+	snd    Controller
+	seq    uint64
+	closed bool
+	trace  bool
+
+	// TraceEvery, when nonzero, marks every TraceEvery'th stream
+	// sequence for link-stress tracing (in addition to SetTrace).
+	TraceEvery uint64
+}
+
+// OpenFlow creates a TFRC-paced flow from this endpoint to node `to`,
+// with packets of nominal size packetSize.
+func (ep *Endpoint) OpenFlow(to int, packetSize int) (*Flow, error) {
+	return ep.OpenFlowCC(to, tfrc.NewSender(float64(packetSize)))
+}
+
+// OpenFlowAIMD creates a flow governed by a TCP-like AIMD controller,
+// for TCP-friendliness experiments.
+func (ep *Endpoint) OpenFlowAIMD(to int, packetSize int) (*Flow, error) {
+	return ep.OpenFlowCC(to, tfrc.NewAIMD(float64(packetSize)))
+}
+
+// OpenFlowCC creates a flow with a caller-supplied congestion
+// controller.
+func (ep *Endpoint) OpenFlowCC(to int, cc Controller) (*Flow, error) {
+	if to == ep.node {
+		return nil, fmt.Errorf("transport: flow to self (node %d)", to)
+	}
+	ep.nextFlow++
+	f := &Flow{ep: ep, id: ep.nextFlow, to: to, snd: cc}
+	ep.sendFlows[f.id] = f
+	return f, nil
+}
+
+// To returns the destination node.
+func (f *Flow) To() int { return f.to }
+
+// Rate returns the current TFRC allowed rate in bytes/second.
+func (f *Flow) Rate() float64 { return f.snd.Rate() }
+
+// RTT returns the smoothed RTT estimate in seconds.
+func (f *Flow) RTT() float64 { return f.snd.RTT() }
+
+// Budget returns the available send budget in bytes.
+func (f *Flow) Budget() float64 {
+	if f.closed {
+		return 0
+	}
+	return f.snd.Budget(f.ep.eng.Now().ToSeconds())
+}
+
+// SetTrace enables link-stress tracing for packets on this flow.
+func (f *Flow) SetTrace(on bool) { f.trace = on }
+
+// Closed reports whether the flow is closed.
+func (f *Flow) Closed() bool { return f.closed }
+
+// TrySend attempts to transmit one application packet carrying stream
+// sequence seq with payload size bytes. It returns false without side
+// effects if sending now would exceed the TCP-friendly rate — Bullet's
+// non-blocking senddata semantics.
+func (f *Flow) TrySend(seq uint64, size int) bool {
+	if f.closed || f.ep.failed {
+		return false
+	}
+	now := f.ep.eng.Now().ToSeconds()
+	wire := size + DataHeaderSize
+	if !f.snd.TrySend(now, wire) {
+		return false
+	}
+	f.ep.dataBytesOut += uint64(wire)
+	trace := f.trace || (f.TraceEvery > 0 && seq%f.TraceEvery == 0)
+	f.ep.net.Send(netem.Packet{
+		Kind: netem.Data, Seq: seq, Size: wire,
+		From: f.ep.node, To: f.to, Trace: trace,
+		Payload: &dataMsg{flowID: f.id, flowSeq: f.seq, ts: now, rtt: f.snd.RTT()},
+	})
+	f.seq++
+	return true
+}
+
+// Close shuts down the flow and tells the receiver to stop feedback.
+func (f *Flow) Close() {
+	if f.closed {
+		return
+	}
+	f.closed = true
+	delete(f.ep.sendFlows, f.id)
+	f.ep.sendTransportControl(f.to, &closeMsg{flowID: f.id}, 16)
+}
+
+// recvFlow is the receiving half, created on first data arrival.
+type recvFlow struct {
+	ep      *Endpoint
+	key     flowKey
+	rcv     *tfrc.Receiver
+	fbTimer *sim.Timer
+	idle    int
+}
+
+func (rf *recvFlow) stop() {
+	if rf.fbTimer != nil {
+		rf.fbTimer.Cancel()
+		rf.fbTimer = nil
+	}
+}
+
+func (rf *recvFlow) scheduleFeedback() {
+	d := sim.Seconds(rf.rcv.FeedbackInterval())
+	if d < sim.Millisecond {
+		d = sim.Millisecond
+	}
+	rf.fbTimer = rf.ep.eng.After(d, rf.sendFeedback)
+}
+
+func (rf *recvFlow) sendFeedback() {
+	if rf.ep.failed {
+		return
+	}
+	now := rf.ep.eng.Now().ToSeconds()
+	fb, echo, hold := rf.rcv.MakeFeedback(now)
+	if fb.RecvRate == 0 {
+		rf.idle++
+		if rf.idle > 20 {
+			// Dormant flow: stop feedback until data arrives again.
+			rf.fbTimer = nil
+			return
+		}
+	} else {
+		rf.idle = 0
+	}
+	sample := -1.0
+	if echo >= 0 {
+		sample = now - echo - hold
+		if sample <= 0 {
+			sample = -1
+		}
+	}
+	fb.RTTSample = sample
+	rf.ep.sendTransportControl(rf.key.src, &feedbackMsg{flowID: rf.key.id, fb: fb}, FeedbackSize)
+	rf.scheduleFeedback()
+}
+
+// onPacket is the netem delivery handler.
+func (ep *Endpoint) onPacket(pkt netem.Packet) {
+	if ep.failed {
+		return
+	}
+	switch m := pkt.Payload.(type) {
+	case *dataMsg:
+		key := flowKey{src: pkt.From, id: m.flowID}
+		rf := ep.recvFlows[key]
+		if rf == nil {
+			rf = &recvFlow{ep: ep, key: key, rcv: tfrc.NewReceiver(m.rtt)}
+			ep.recvFlows[key] = rf
+		}
+		now := ep.eng.Now().ToSeconds()
+		rf.rcv.OnData(now, m.flowSeq, pkt.Size, m.ts, m.rtt)
+		if rf.fbTimer == nil {
+			rf.idle = 0
+			rf.scheduleFeedback()
+		}
+		ep.dataBytesIn += uint64(pkt.Size)
+		if ep.onData != nil {
+			ep.onData(pkt.From, pkt.Seq, pkt.Size-DataHeaderSize)
+		}
+	case *feedbackMsg:
+		ep.transportCtlIn += uint64(pkt.Size)
+		if f, ok := ep.sendFlows[m.flowID]; ok {
+			f.snd.OnFeedback(ep.eng.Now().ToSeconds(), m.fb)
+		}
+	case *closeMsg:
+		ep.transportCtlIn += uint64(pkt.Size)
+		key := flowKey{src: pkt.From, id: m.flowID}
+		if rf, ok := ep.recvFlows[key]; ok {
+			rf.stop()
+			delete(ep.recvFlows, key)
+		}
+	default:
+		ep.controlBytesIn += uint64(pkt.Size)
+		if ep.onControl != nil {
+			ep.onControl(pkt.From, pkt.Payload, pkt.Size)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+// Package workset tracks the set of stream sequence numbers a node has
+// received over a sliding window (§3.1): the working set backs the
+// node's Bloom filter, its summary ticket, and the (Low, High) recovery
+// range it advertises to sending peers. It also implements the Figure 4
+// sequence matrix: partitioning the sequence space by "mod rows" across
+// senders so peers transmit disjoint data.
+package workset
+
+// Set is a windowed set of sequence numbers.
+type Set struct {
+	have map[uint64]struct{}
+	low  uint64 // smallest retained (inclusive); seqs below are forgotten
+	max  uint64 // largest ever added
+	any  bool
+	cnt  uint64 // total distinct adds, including trimmed
+}
+
+// New creates an empty working set.
+func New() *Set {
+	return &Set{have: make(map[uint64]struct{})}
+}
+
+// Add records seq; it returns true if seq was new (not currently held
+// and not below the trimmed window).
+func (s *Set) Add(seq uint64) bool {
+	if s.any && seq < s.low {
+		return false // below the window: treated as already seen
+	}
+	if _, ok := s.have[seq]; ok {
+		return false
+	}
+	s.have[seq] = struct{}{}
+	s.cnt++
+	if !s.any || seq > s.max {
+		s.max = seq
+	}
+	s.any = true
+	return true
+}
+
+// Contains reports whether seq is held or below the retained window
+// (sequences below Low are assumed delivered/expired).
+func (s *Set) Contains(seq uint64) bool {
+	if s.any && seq < s.low {
+		return true
+	}
+	_, ok := s.have[seq]
+	return ok
+}
+
+// Held reports whether seq is actually retained (servable to a peer).
+func (s *Set) Held(seq uint64) bool {
+	_, ok := s.have[seq]
+	return ok
+}
+
+// Len returns the number of retained sequences.
+func (s *Set) Len() int { return len(s.have) }
+
+// Total returns the number of distinct sequences ever added.
+func (s *Set) Total() uint64 { return s.cnt }
+
+// Low returns the smallest retained sequence bound.
+func (s *Set) Low() uint64 { return s.low }
+
+// High returns the largest sequence ever added (0 if empty).
+func (s *Set) High() uint64 {
+	if !s.any {
+		return 0
+	}
+	return s.max
+}
+
+// Empty reports whether nothing has ever been added.
+func (s *Set) Empty() bool { return !s.any }
+
+// TrimBelow drops all sequences < lo, advancing the window. Bullet
+// trims items no longer needed for reconstruction so Bloom filter
+// population stays bounded.
+func (s *Set) TrimBelow(lo uint64) {
+	if lo <= s.low {
+		return
+	}
+	for seq := range s.have {
+		if seq < lo {
+			delete(s.have, seq)
+		}
+	}
+	s.low = lo
+}
+
+// ForRange calls fn for every *held* sequence in [lo, hi] in ascending
+// order; fn returning false stops iteration.
+func (s *Set) ForRange(lo, hi uint64, fn func(seq uint64) bool) {
+	if s.any && lo < s.low {
+		lo = s.low
+	}
+	for seq := lo; seq <= hi; seq++ {
+		if _, ok := s.have[seq]; ok {
+			if !fn(seq) {
+				return
+			}
+		}
+		if seq == ^uint64(0) {
+			return
+		}
+	}
+}
+
+// MissingInRange counts sequences in [lo, hi] not held and not below
+// the window.
+func (s *Set) MissingInRange(lo, hi uint64) int {
+	if s.any && lo < s.low {
+		lo = s.low
+	}
+	n := 0
+	for seq := lo; seq <= hi; seq++ {
+		if _, ok := s.have[seq]; !ok {
+			n++
+		}
+		if seq == ^uint64(0) {
+			break
+		}
+	}
+	return n
+}
+
+// RowOf returns the matrix row (Figure 4) that sequence seq belongs to
+// when the space is split across `senders` rows.
+func RowOf(seq uint64, senders int) int {
+	if senders <= 0 {
+		return 0
+	}
+	return int(seq % uint64(senders))
+}
