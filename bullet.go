@@ -81,6 +81,11 @@ type (
 	ExperimentResult = experiments.Result
 	// ExperimentScale selects small/medium/paper experiment sizing.
 	ExperimentScale = experiments.Scale
+	// ExperimentRun identifies one (id, scale, seed) execution for the
+	// parallel runner.
+	ExperimentRun = experiments.Run
+	// ExperimentRunResult pairs an ExperimentRun with its outcome.
+	ExperimentRunResult = experiments.RunResult
 )
 
 // Measurement kinds.
@@ -250,6 +255,14 @@ func RunExperiment(id string, scale ExperimentScale, seed int64) (*ExperimentRes
 		return nil, &UnknownExperimentError{ID: id}
 	}
 	return runner(scale, seed)
+}
+
+// RunExperiments executes several experiment runs concurrently across
+// workers goroutines (0 = GOMAXPROCS) and returns results in input
+// order. Each run gets its own engine and emulator, so the output is
+// byte-identical to running the experiments serially.
+func RunExperiments(runs []ExperimentRun, workers int) []ExperimentRunResult {
+	return experiments.RunAll(runs, workers)
 }
 
 // Experiments lists the available experiment ids.

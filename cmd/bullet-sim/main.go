@@ -5,10 +5,17 @@
 //
 //	bullet-sim -experiment fig7 -scale small -seed 42
 //	bullet-sim -experiment all -scale medium -out results/
+//	bullet-sim -experiment fig6,fig7,fig8 -parallel 4
 //	bullet-sim -list
 //
 // Scales: small (seconds of wall-clock), medium, paper (the paper's
 // 20,000-node topologies with 1000 participants; minutes to hours).
+//
+// Multiple experiments (a comma-separated list, or "all") fan out
+// across -parallel worker goroutines, each with its own engine and
+// emulator. Results are printed in input order and are byte-identical
+// to a serial run: every experiment is a pure function of
+// (experiment, scale, seed).
 package main
 
 import (
@@ -16,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"bullet/internal/experiments"
@@ -23,10 +31,11 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "", "experiment id (table1, fig6..fig15, overcast, all)")
+		experiment = flag.String("experiment", "", "experiment id, comma-separated list, or \"all\" (see -list)")
 		scaleName  = flag.String("scale", "small", "small | medium | paper")
 		seed       = flag.Int64("seed", 42, "master RNG seed; runs are a pure function of (experiment, scale, seed)")
 		outDir     = flag.String("out", "", "directory for per-experiment TSV files (default: stdout)")
+		parallel   = flag.Int("parallel", 0, "worker goroutines for multi-experiment runs (0 = GOMAXPROCS)")
 		list       = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -46,39 +55,57 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	ids := []string{*experiment}
+	var ids []string
 	if *experiment == "all" {
 		ids = experiments.Names()
+	} else {
+		ids = strings.Split(*experiment, ",")
 	}
-	for _, id := range ids {
-		runner, ok := experiments.Registry[id]
-		if !ok {
+	runs := make([]experiments.Run, len(ids))
+	for i, id := range ids {
+		id = strings.TrimSpace(id)
+		if _, ok := experiments.Registry[id]; !ok {
 			fatal(fmt.Errorf("unknown experiment %q (use -list)", id))
 		}
-		start := time.Now()
-		fmt.Fprintf(os.Stderr, "running %s at %s scale (seed %d)...\n", id, scale.Name, *seed)
-		res, err := runner(scale, *seed)
-		if err != nil {
-			fatal(err)
+		runs[i] = experiments.Run{ID: id, Scale: scale, Seed: *seed}
+	}
+
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "running %d experiment(s) at %s scale (seed %d)...\n",
+		len(runs), scale.Name, *seed)
+	results := experiments.RunAll(runs, *parallel)
+	fmt.Fprintf(os.Stderr, "finished in %v\n", time.Since(start).Round(time.Millisecond))
+
+	// Emit every completed result before failing: by this point all runs
+	// have been computed, so a single bad experiment must not discard
+	// the others' output.
+	failed := 0
+	for _, rr := range results {
+		if rr.Err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "bullet-sim: %s: %v\n", rr.Run.ID, rr.Err)
+			continue
 		}
-		fmt.Fprintf(os.Stderr, "%s finished in %v\n", id, time.Since(start).Round(time.Millisecond))
 		if *outDir == "" {
-			res.Print(os.Stdout)
+			rr.Result.Print(os.Stdout)
 			continue
 		}
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			fatal(err)
 		}
-		path := filepath.Join(*outDir, fmt.Sprintf("%s-%s.tsv", id, scale.Name))
+		path := filepath.Join(*outDir, fmt.Sprintf("%s-%s.tsv", rr.Run.ID, scale.Name))
 		f, err := os.Create(path)
 		if err != nil {
 			fatal(err)
 		}
-		res.Print(f)
+		rr.Result.Print(f)
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+	if failed > 0 {
+		fatal(fmt.Errorf("%d of %d experiment(s) failed", failed, len(results)))
 	}
 }
 

@@ -1,0 +1,3 @@
+module bullet
+
+go 1.24

@@ -1,0 +1,92 @@
+package bullet_test
+
+import (
+	"math"
+	"testing"
+
+	"bullet"
+)
+
+// Golden-trace determinism tests. The constants below were captured
+// from the pre-refactor seed implementation (pointer-heap scheduler,
+// per-packet path recomputation) on linux/amd64 with seed 42; the
+// rebuilt hot path must reproduce them bit-for-bit. They double as the
+// determinism contract for future changes: a PR that shifts any of
+// these values has changed simulation semantics, not just performance.
+
+// A plain tree-streaming run over a lossy 1500-node topology: every
+// event count and byte counter must match the seed implementation.
+func TestGoldenStreamerTrace(t *testing.T) {
+	w, err := bullet.NewWorld(bullet.WorldConfig{
+		TotalNodes: 1500, Clients: 40, Seed: 42, Loss: bullet.PaperLoss,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := w.RandomTree(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := w.DeployStreamer(tree, bullet.StreamConfig{
+		RateKbps: 600, PacketSize: 1500,
+		Start: 5 * bullet.Second, Duration: 60 * bullet.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Run(70 * bullet.Second)
+
+	if fired := w.Network().Engine().Fired(); fired != 712704 {
+		t.Errorf("Engine.Fired() = %d, want 712704", fired)
+	}
+	st := w.Network().Stats()
+	checks := []struct {
+		name string
+		got  uint64
+		want uint64
+	}{
+		{"DataBytesSent", st.DataBytesSent, 56634888},
+		{"DataBytesDelivered", st.DataBytesDelivered, 54030372},
+		{"ControlBytes", st.ControlBytes, 1204080},
+		{"CongestionDrops", st.CongestionDrops, 231},
+		{"RandomLossDrops", st.RandomLossDrops, 1478},
+		{"DeliveredPackets", st.DeliveredPackets, 60538},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s = %d, want %d", c.name, c.got, c.want)
+		}
+	}
+	useful := col.MeanOver(30*bullet.Second, 70*bullet.Second, bullet.Useful)
+	if math.Abs(useful-172.61666666666667) > 1e-9 {
+		t.Errorf("useful = %.12f Kbps, want 172.616666666667", useful)
+	}
+}
+
+// The Figure 7 headline metrics for the standard (small, seed 42)
+// configuration — the numbers the benchmark trajectory tracks.
+func TestGoldenFig07Metrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fig7 run; skipped in -short")
+	}
+	r, err := bullet.RunExperiment("fig7", bullet.SmallScale, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"useful_total tail mean", r.MeanTail("useful_total", 0.4), 551.8},
+		{"raw_total tail mean", r.MeanTail("raw_total", 0.4), 658.78},
+		{"duplicate_ratio", r.Summary["duplicate_ratio"], 0.160738152},
+		{"control_overhead_kbps", r.Summary["control_overhead_kbps"], 19.877344},
+		{"link_stress_avg", r.Summary["link_stress_avg"], 2.392529259},
+	}
+	for _, c := range checks {
+		if math.Abs(c.got-c.want) > 1e-6 {
+			t.Errorf("%s = %.9f, want %.9f", c.name, c.got, c.want)
+		}
+	}
+}

@@ -107,6 +107,12 @@ type Node struct {
 	agent    *ransub.Agent
 	rng      *rand.Rand
 
+	// Cached tick closures: allocated once at deploy so periodic
+	// rescheduling through Engine.ScheduleAfter is allocation-free.
+	pumpFn    func()
+	refreshFn func()
+	evalFn    func()
+
 	ws       *workset.Set
 	ticket   *sketch.Ticket
 	filter   *bloom.Filter
@@ -218,10 +224,13 @@ func (sys *System) addNode(id int) error {
 	ep.OnData(n.onData)
 	ep.OnControl(n.onControl)
 	// Periodic maintenance, de-phased per node to avoid lockstep.
+	n.pumpFn = n.pumpTick
+	n.refreshFn = n.refreshTick
+	n.evalFn = n.evalTick
 	jitter := sim.Duration(n.rng.Int63n(int64(sys.cfg.FilterRefresh)))
-	sys.eng.At(sys.cfg.FilterRefresh+jitter, func() { n.refreshTick() })
-	sys.eng.At(sys.cfg.EvalInterval+jitter, func() { n.evalTick() })
-	sys.eng.At(sys.cfg.PumpInterval+jitter%sys.cfg.PumpInterval, func() { n.pumpTick() })
+	sys.eng.Schedule(sys.cfg.FilterRefresh+jitter, n.refreshFn)
+	sys.eng.Schedule(sys.cfg.EvalInterval+jitter, n.evalFn)
+	sys.eng.Schedule(sys.cfg.PumpInterval+jitter%sys.cfg.PumpInterval, n.pumpFn)
 	sys.Nodes[id] = n
 	return nil
 }
@@ -242,9 +251,9 @@ func (sys *System) scheduleSource(root *Node) {
 		}
 		root.ingest(seq, sys.cfg.PacketSize)
 		seq++
-		sys.eng.After(interval, pump)
+		sys.eng.ScheduleAfter(interval, pump)
 	}
-	sys.eng.At(sys.cfg.Start, pump)
+	sys.eng.Schedule(sys.cfg.Start, pump)
 }
 
 // Fail crashes node id (endpoint down, all timers inert).
@@ -754,7 +763,7 @@ func (n *Node) pumpTick() {
 	for _, id := range n.receiverIDs() {
 		n.pumpReceiver(n.receivers[id])
 	}
-	n.sys.eng.After(n.sys.cfg.PumpInterval, func() { n.pumpTick() })
+	n.sys.eng.ScheduleAfter(n.sys.cfg.PumpInterval, n.pumpFn)
 }
 
 func (n *Node) pumpReceiver(rf *recvPeerInfo) {
@@ -840,7 +849,7 @@ func (n *Node) refreshTick() {
 	}
 	n.sendRefreshes()
 	n.recvWindow = 0
-	n.sys.eng.After(n.sys.cfg.FilterRefresh, func() { n.refreshTick() })
+	n.sys.eng.ScheduleAfter(n.sys.cfg.FilterRefresh, n.refreshFn)
 }
 
 // slideWindow trims the working set to the recovery window and
@@ -877,7 +886,7 @@ func (n *Node) evalTick() {
 		n.evalSenders()
 		n.evalReceivers()
 	}
-	n.sys.eng.After(n.sys.cfg.EvalInterval, func() { n.evalTick() })
+	n.sys.eng.ScheduleAfter(n.sys.cfg.EvalInterval, n.evalFn)
 }
 
 const minEvalSample = 20 // packets before a sender can be judged

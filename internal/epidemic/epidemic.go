@@ -102,9 +102,9 @@ func DeployGossip(net *netem.Network, participants []int, source int, cfg Gossip
 		src.seen.Add(seq)
 		sys.push(src, seq, cfg.PacketSize)
 		seq++
-		sys.eng.After(interval, pump)
+		sys.eng.ScheduleAfter(interval, pump)
 	}
-	sys.eng.At(cfg.Start, pump)
+	sys.eng.Schedule(cfg.Start, pump)
 	return sys, nil
 }
 
@@ -173,6 +173,7 @@ type aeNode struct {
 	seen     *workset.Set
 	flows    map[int]*transport.Flow // tree + repair flows
 	rng      *rand.Rand
+	roundFn  func() // cached aeRound closure: one alloc per node, not per epoch
 }
 
 // AntiEntropySystem is a deployed streaming + anti-entropy overlay.
@@ -238,8 +239,9 @@ func DeployAntiEntropy(net *netem.Network, tree *overlay.Tree, cfg AntiEntropyCo
 		n.ep.OnControl(func(from int, payload any, size int) { sys.onControl(id, from, payload) })
 		sys.Nodes[id] = n
 		// Anti-entropy rounds, de-phased per node.
+		n.roundFn = func() { sys.aeRound(id) }
 		jitter := sim.Duration(n.rng.Int63n(int64(cfg.Epoch)))
-		sys.eng.At(cfg.Epoch+jitter, func() { sys.aeRound(id) })
+		sys.eng.Schedule(cfg.Epoch+jitter, n.roundFn)
 	}
 	bytesPerSec := cfg.RateKbps * 1000 / 8
 	interval := sim.Duration(float64(cfg.PacketSize) / bytesPerSec * float64(sim.Second))
@@ -256,9 +258,9 @@ func DeployAntiEntropy(net *netem.Network, tree *overlay.Tree, cfg AntiEntropyCo
 			root.flows[c].TrySend(seq, cfg.PacketSize)
 		}
 		seq++
-		sys.eng.After(interval, pump)
+		sys.eng.ScheduleAfter(interval, pump)
 	}
-	sys.eng.At(cfg.Start, pump)
+	sys.eng.Schedule(cfg.Start, pump)
 	return sys, nil
 }
 
@@ -301,7 +303,7 @@ func (sys *AntiEntropySystem) aeRound(id int) {
 		}
 		n.ep.SendControl(peer, &aeDigestMsg{filter: filter, low: n.seen.Low(), high: n.seen.High()}, filter.SizeBytes()+24)
 	}
-	sys.eng.After(sys.cfg.Epoch, func() { sys.aeRound(id) })
+	sys.eng.ScheduleAfter(sys.cfg.Epoch, n.roundFn)
 }
 
 // onControl answers digests with missing packets (last-in-first-out,

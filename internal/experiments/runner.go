@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Run identifies one experiment execution. Every runner is a pure
+// function of (ID, Scale, Seed) — each run builds its own engine,
+// topology, and emulator — so runs can execute concurrently without
+// sharing any mutable state and still produce byte-identical results.
+type Run struct {
+	ID    string
+	Scale Scale
+	Seed  int64
+}
+
+// RunResult pairs a Run with its outcome.
+type RunResult struct {
+	Run    Run
+	Result *Result
+	Err    error
+}
+
+// RunAll executes runs across min(workers, len(runs)) goroutines and
+// returns results in input order, regardless of completion order: the
+// output for runs[i] is always at index i. workers <= 0 selects
+// GOMAXPROCS. Determinism is unaffected by the worker count — each run
+// is seeded independently — so RunAll(runs, 1) and RunAll(runs, N)
+// yield identical results.
+func RunAll(runs []Run, workers int) []RunResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(runs) {
+		workers = len(runs)
+	}
+	out := make([]RunResult, len(runs))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = execute(runs[i])
+			}
+		}()
+	}
+	for i := range runs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+func execute(r Run) RunResult {
+	runner, ok := Registry[r.ID]
+	if !ok {
+		return RunResult{Run: r, Err: fmt.Errorf("experiments: unknown experiment %q", r.ID)}
+	}
+	res, err := runner(r.Scale, r.Seed)
+	return RunResult{Run: r, Result: res, Err: err}
+}

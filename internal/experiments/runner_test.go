@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// printAll renders results the way cmd/bullet-sim does, so byte
+// equality here is exactly "parallel and serial TSVs are identical".
+func printAll(t *testing.T, rs []RunResult) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, rr := range rs {
+		if rr.Err != nil {
+			t.Fatalf("%s: %v", rr.Run.ID, rr.Err)
+		}
+		rr.Result.Print(&buf)
+	}
+	return buf.Bytes()
+}
+
+// Parallel execution must be invisible in the output: same runs, same
+// seeds, any worker count -> byte-identical TSVs in input order.
+func TestRunAllParallelMatchesSerial(t *testing.T) {
+	runs := []Run{
+		{ID: "table1", Scale: Small, Seed: 42},
+		{ID: "table1", Scale: Small, Seed: 7},
+	}
+	if !testing.Short() {
+		runs = append(runs,
+			Run{ID: "fig6", Scale: Small, Seed: 42},
+			Run{ID: "fig7", Scale: Small, Seed: 42},
+		)
+	}
+	serial := printAll(t, RunAll(runs, 1))
+	parallel := printAll(t, RunAll(runs, 4))
+	if !bytes.Equal(serial, parallel) {
+		t.Fatal("parallel runner output differs from serial")
+	}
+	if len(serial) == 0 {
+		t.Fatal("runner produced no output")
+	}
+}
+
+// Results come back in input order even though workers finish in
+// arbitrary order.
+func TestRunAllPreservesOrder(t *testing.T) {
+	runs := []Run{
+		{ID: "table1", Scale: Small, Seed: 1},
+		{ID: "nope", Scale: Small, Seed: 1},
+		{ID: "table1", Scale: Small, Seed: 2},
+	}
+	out := RunAll(runs, 3)
+	if len(out) != 3 {
+		t.Fatalf("got %d results, want 3", len(out))
+	}
+	for i, rr := range out {
+		if rr.Run != runs[i] {
+			t.Fatalf("result %d is for run %+v, want %+v", i, rr.Run, runs[i])
+		}
+	}
+	if out[0].Err != nil || out[2].Err != nil {
+		t.Fatalf("valid runs errored: %v, %v", out[0].Err, out[2].Err)
+	}
+	if out[1].Err == nil {
+		t.Fatal("unknown experiment id did not error")
+	}
+}

@@ -59,6 +59,17 @@ type dirState struct {
 	packets   uint64
 }
 
+// inflight is the pooled per-packet forwarding state. The routed path
+// is computed once at Send (a shared slice from the router's cache) and
+// carried with the packet, so no hop ever re-derives or re-looks-up the
+// route.
+type inflight struct {
+	pkt  Packet
+	path []int32 // link ids, traversal order; owned by the router cache
+	i    int     // next path index to traverse
+	cur  int     // current node
+}
+
 // Network emulates the physical topology for registered participants.
 type Network struct {
 	eng      *sim.Engine
@@ -66,8 +77,14 @@ type Network struct {
 	rt       *topology.Router
 	cfg      Config
 	dirs     []dirState // 2*linkID + direction
-	handlers map[int]Handler
+	handlers []Handler  // indexed by node id
 	rng      *rand.Rand
+
+	// hopFn is the single reusable callback for hop events; paired with
+	// the inflight free list it makes steady-state forwarding
+	// allocation-free (one event per hop, zero heap allocations).
+	hopFn func(any)
+	pool  []*inflight
 
 	// Aggregate accounting.
 	dataBytesSent    uint64
@@ -86,16 +103,34 @@ func New(eng *sim.Engine, g *topology.Graph, rt *topology.Router, cfg Config) *N
 	if cfg.QueueDelayLimit <= 0 {
 		cfg.QueueDelayLimit = 150 * sim.Millisecond
 	}
-	return &Network{
+	n := &Network{
 		eng:         eng,
 		g:           g,
 		rt:          rt,
 		cfg:         cfg,
 		dirs:        make([]dirState, 2*len(g.Links)),
-		handlers:    make(map[int]Handler),
+		handlers:    make([]Handler, len(g.Nodes)),
 		rng:         eng.RNG(0x6e65746d),
 		traceStress: make(map[uint64]map[int32]int),
 	}
+	n.hopFn = func(a any) { n.hop(a.(*inflight)) }
+	return n
+}
+
+// getInflight takes a forwarding state from the free list.
+func (n *Network) getInflight() *inflight {
+	if k := len(n.pool); k > 0 {
+		f := n.pool[k-1]
+		n.pool = n.pool[:k-1]
+		return f
+	}
+	return &inflight{}
+}
+
+// putInflight returns f to the free list, dropping payload references.
+func (n *Network) putInflight(f *inflight) {
+	*f = inflight{}
+	n.pool = append(n.pool, f)
 }
 
 // Engine returns the simulation engine.
@@ -113,11 +148,12 @@ func (n *Network) Register(node int, h Handler) { n.handlers[node] = h }
 
 // Unregister removes the handler for node id; packets in flight to it
 // are silently discarded on arrival.
-func (n *Network) Unregister(node int) { delete(n.handlers, node) }
+func (n *Network) Unregister(node int) { n.handlers[node] = nil }
 
 // Send injects a packet at pkt.From at the current virtual time. The
 // packet traverses the fixed shortest path to pkt.To; it may be dropped
-// on the way. Local delivery (From == To) happens after one event cycle.
+// on the way. The path is resolved once here (from the router's
+// memoized flat tables) and carried with the packet.
 func (n *Network) Send(pkt Packet) {
 	pkt.SentAt = n.eng.Now()
 	if pkt.Kind == Control {
@@ -129,21 +165,28 @@ func (n *Network) Send(pkt Packet) {
 	if path == nil && pkt.From != pkt.To {
 		return // unreachable: dropped
 	}
-	n.hop(pkt, path, 0, pkt.From)
+	f := n.getInflight()
+	f.pkt = pkt
+	f.path = path
+	f.i = 0
+	f.cur = pkt.From
+	n.hop(f)
 }
 
-// hop processes arrival of pkt at the input of path[i], currently at
-// node cur, and schedules the next-hop arrival.
-func (n *Network) hop(pkt Packet, path []int32, i int, cur int) {
-	if i == len(path) {
-		n.deliver(pkt)
+// hop processes arrival of the packet at the input of path[i] and
+// schedules the next-hop arrival. The inflight state is released to the
+// pool when the packet is delivered or dropped.
+func (n *Network) hop(f *inflight) {
+	if f.i == len(f.path) {
+		n.deliver(f.pkt)
+		n.putInflight(f)
 		return
 	}
-	lid := path[i]
+	lid := f.path[f.i]
 	l := &n.g.Links[lid]
 	dir := 0
 	next := l.B
-	if cur == l.B {
+	if f.cur == l.B {
 		dir = 1
 		next = l.A
 	}
@@ -159,7 +202,7 @@ func (n *Network) hop(pkt Packet, path []int32, i int, cur int) {
 	// the bound. Early drop gives transports a timely congestion signal
 	// and breaks the phase synchronization a deterministic tail-drop
 	// would impose on competing flows.
-	if pkt.Kind == Data {
+	if f.pkt.Kind == Data {
 		wait := start - now
 		limit := n.cfg.QueueDelayLimit
 		if wait > limit/2 {
@@ -167,30 +210,34 @@ func (n *Network) hop(pkt Packet, path []int32, i int, cur int) {
 			if p >= 1 || n.rng.Float64() < p {
 				ds.drops++
 				n.congestionDrops++
+				n.putInflight(f)
 				return
 			}
 		}
 	}
 	// Random loss is applied per traversal, before transmission.
-	if pkt.Kind == Data && l.Loss > 0 && n.rng.Float64() < l.Loss {
+	if f.pkt.Kind == Data && l.Loss > 0 && n.rng.Float64() < l.Loss {
 		ds.lossDrops++
 		n.randomLossDrops++
+		n.putInflight(f)
 		return
 	}
-	ser := sim.Duration(float64(pkt.Size) / l.Bytes * float64(sim.Second))
+	ser := sim.Duration(float64(f.pkt.Size) / l.Bytes * float64(sim.Second))
 	ds.busyUntil = start + ser
-	ds.bytes += uint64(pkt.Size)
+	ds.bytes += uint64(f.pkt.Size)
 	ds.packets++
-	if pkt.Trace {
-		m := n.traceStress[pkt.Seq]
+	if f.pkt.Trace {
+		m := n.traceStress[f.pkt.Seq]
 		if m == nil {
 			m = make(map[int32]int)
-			n.traceStress[pkt.Seq] = m
+			n.traceStress[f.pkt.Seq] = m
 		}
 		m[lid]++
 	}
 	arrive := ds.busyUntil + l.Delay
-	n.eng.At(arrive, func() { n.hop(pkt, path, i+1, next) })
+	f.i++
+	f.cur = next
+	n.eng.ScheduleArg(arrive, n.hopFn, f)
 }
 
 func (n *Network) deliver(pkt Packet) {

@@ -119,7 +119,7 @@ type Agent struct {
 	childCollect   map[int]collectMsg // latest collect from each child
 	collectsWaited map[int]bool       // children owing a collect this epoch
 	lastDistribute distributeMsg
-	epochTimer     *sim.Timer
+	epochTimer     sim.Timer
 	minEpochDone   bool
 	started        bool
 
@@ -206,13 +206,11 @@ func (a *Agent) beginEpoch() {
 	}
 	a.sendDistributes(distributeMsg{epoch: a.epoch})
 	eng := a.ep.Engine()
-	eng.After(a.cfg.Epoch, func() {
+	eng.ScheduleAfter(a.cfg.Epoch, func() {
 		a.minEpochDone = true
 		a.maybeAdvance()
 	})
-	if a.epochTimer != nil {
-		a.epochTimer.Cancel()
-	}
+	a.epochTimer.Cancel()
 	if a.cfg.FailureDetection {
 		timeout := a.cfg.EpochTimeout
 		if timeout < a.cfg.Epoch {

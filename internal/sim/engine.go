@@ -5,12 +5,31 @@
 // run is a pure function of the initial configuration and RNG seeds.
 // All protocol code in this repository (netem, TFRC, RanSub, Bullet)
 // executes inside engine callbacks on a single goroutine.
+//
+// # Scheduler internals
+//
+// The queue is a 4-ary min-heap of value-type events ordered by
+// (time, sequence). Events live inline in the heap slice — no per-event
+// heap allocation, no index bookkeeping (cancellation is lazy, so the
+// heap never removes from the middle). A 4-ary layout halves tree depth
+// versus a binary heap and keeps each sift's child scan inside one or
+// two cache lines.
+//
+// Cancellable timers are handled through a slot table with generation
+// counters: At/After/Every allocate a slot from a free list and return a
+// value-type Timer naming (slot, generation). Cancel and Stopped check
+// the generation, so stale handles are always safe no-ops. The hot
+// fire-and-forget paths (Schedule, ScheduleArg) skip the slot table
+// entirely; ScheduleArg additionally avoids per-event closures by
+// carrying a caller-owned argument to a reusable callback.
+//
+// Periodic timers created with Every re-arm in place: the period is
+// stored in the event itself and the engine re-pushes the fired event
+// with a fresh sequence number, so a periodic series costs zero
+// allocations per tick after setup.
 package sim
 
-import (
-	"container/heap"
-	"math/rand"
-)
+import "math/rand"
 
 // Time is a virtual timestamp in nanoseconds since the start of the run.
 type Time int64
@@ -34,74 +53,72 @@ func (t Time) ToSeconds() float64 { return float64(t) / float64(Second) }
 
 // Timer is a handle for a scheduled event. Cancel prevents the callback
 // from running if it has not fired yet. For periodic timers created with
-// Every, Cancel stops the whole series.
+// Every, Cancel stops the whole series. The zero Timer is valid: Cancel
+// is a no-op and Stopped reports true.
 type Timer struct {
-	ev        *event
-	cancelled bool
+	e    *Engine
+	slot int32
+	gen  uint64
 }
 
-// Cancel stops the timer. It is safe to call multiple times and after
-// the event has fired.
-func (t *Timer) Cancel() {
-	if t == nil {
+// Cancel stops the timer. It is safe to call multiple times, after the
+// event has fired, and on the zero Timer.
+func (t Timer) Cancel() {
+	if t.e == nil {
 		return
 	}
-	t.cancelled = true
-	if t.ev != nil {
-		t.ev.fn = nil
+	s := &t.e.slots[t.slot]
+	if s.gen == t.gen && !s.done {
+		s.cancelled = true
 	}
 }
 
-// Stopped reports whether the timer was cancelled or has fired (and,
-// for periodic timers, will not fire again).
-func (t *Timer) Stopped() bool {
-	return t == nil || t.cancelled || t.ev == nil || t.ev.fn == nil
+// Stopped reports whether the timer was cancelled or has fired and will
+// not fire again. A periodic timer reports stopped only after Cancel:
+// between ticks it is live.
+func (t Timer) Stopped() bool {
+	if t.e == nil {
+		return true
+	}
+	s := &t.e.slots[t.slot]
+	if s.gen != t.gen {
+		return true // slot recycled: that timer finished long ago
+	}
+	return s.done || s.cancelled
 }
 
+// event is a value-type queue entry. Exactly one of fn and afn is set.
 type event struct {
-	at  Time
-	seq uint64 // tie-break: FIFO among same-instant events
-	fn  func()
-	idx int
+	at     Time
+	seq    uint64   // tie-break: FIFO among same-instant events
+	slot   int32    // timer slot index, or noSlot for fire-and-forget
+	period Duration // > 0: periodic, re-armed after each fire
+	fn     func()
+	afn    func(any)
+	arg    any
 }
 
-type eventHeap []*event
+const noSlot = int32(-1)
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.idx = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+// timerSlot tracks the liveness of one outstanding Timer handle.
+type timerSlot struct {
+	gen       uint64
+	done      bool
+	cancelled bool
 }
 
 // Engine is a deterministic discrete-event scheduler.
 // The zero value is not usable; construct with NewEngine.
 type Engine struct {
 	now     Time
-	events  eventHeap
+	heap    []event // 4-ary min-heap ordered by (at, seq)
 	seq     uint64
 	stopped bool
 	seed    int64
 	fired   uint64
+
+	slots []timerSlot
+	free  []int32 // free slot indices
 }
 
 // NewEngine returns an engine with the clock at zero. The seed is used
@@ -121,7 +138,7 @@ func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending returns the number of events still queued (including
 // cancelled timers that have not been popped yet).
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return len(e.heap) }
 
 // RNG derives a deterministic random stream for the given entity id.
 // Distinct ids yield independent streams; the same (seed, id) pair
@@ -137,57 +154,202 @@ func (e *Engine) RNG(id int64) *rand.Rand {
 	return rand.New(rand.NewSource(int64(z)))
 }
 
-// At schedules fn to run at absolute time t. Scheduling in the past
-// (t < Now) runs the event at the current time, after already-queued
-// same-instant events. Returns a cancellable Timer.
-func (e *Engine) At(t Time, fn func()) *Timer {
-	if t < e.now {
-		t = e.now
+// ---------------------------------------------------------------------
+// 4-ary value heap.
+// ---------------------------------------------------------------------
+
+func evLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
+	return a.seq < b.seq
+}
+
+// push appends ev and sifts it up.
+func (e *Engine) push(ev event) {
+	h := append(e.heap, ev)
+	e.heap = h
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !evLess(&ev, &h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = ev
+}
+
+// pop removes and returns the minimum event.
+func (e *Engine) pop() event {
+	h := e.heap
+	min := h[0]
+	n := len(h) - 1
+	ev := h[n]
+	h[n] = event{} // release fn/arg references
+	h = h[:n]
+	e.heap = h
+	if n == 0 {
+		return min
+	}
+	// Sift ev down from the root.
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		hi := c + 4
+		if hi > n {
+			hi = n
+		}
+		for j := c + 1; j < hi; j++ {
+			if evLess(&h[j], &h[m]) {
+				m = j
+			}
+		}
+		if !evLess(&h[m], &ev) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = ev
+	return min
+}
+
+// ---------------------------------------------------------------------
+// Timer slot table.
+// ---------------------------------------------------------------------
+
+// allocSlot takes a slot from the free list (or grows the table) and
+// returns a live handle for it.
+func (e *Engine) allocSlot() (int32, uint64) {
+	var idx int32
+	if n := len(e.free); n > 0 {
+		idx = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		idx = int32(len(e.slots))
+		e.slots = append(e.slots, timerSlot{})
+	}
+	s := &e.slots[idx]
+	s.gen++
+	s.done = false
+	s.cancelled = false
+	return idx, s.gen
+}
+
+// freeSlot marks the slot finished and returns it to the free list.
+// Outstanding Timer handles keep matching gen until reuse, at which
+// point the generation bump invalidates them.
+func (e *Engine) freeSlot(idx int32) {
+	e.slots[idx].done = true
+	e.free = append(e.free, idx)
+}
+
+// ---------------------------------------------------------------------
+// Scheduling API.
+// ---------------------------------------------------------------------
+
+// clamp maps past times to the current instant: scheduling in the past
+// runs the event at the current time, after already-queued same-instant
+// events (FIFO by sequence number).
+func (e *Engine) clamp(t Time) Time {
+	if t < e.now {
+		return e.now
+	}
+	return t
+}
+
+// At schedules fn to run at absolute time t and returns a cancellable
+// Timer. Callers that never cancel should prefer Schedule, which skips
+// the timer slot table.
+func (e *Engine) At(t Time, fn func()) Timer {
+	slot, gen := e.allocSlot()
+	e.push(event{at: e.clamp(t), seq: e.seq, slot: slot, fn: fn})
 	e.seq++
-	heap.Push(&e.events, ev)
-	return &Timer{ev: ev}
+	return Timer{e: e, slot: slot, gen: gen}
 }
 
 // After schedules fn to run d after the current time.
-func (e *Engine) After(d Duration, fn func()) *Timer {
+func (e *Engine) After(d Duration, fn func()) Timer {
 	return e.At(e.now+d, fn)
 }
 
 // Every schedules fn to run every period, starting after the first
-// period elapses. The returned Timer cancels the whole series.
-func (e *Engine) Every(period Duration, fn func()) *Timer {
-	t := &Timer{}
-	var tick func()
-	tick = func() {
-		fn()
-		if !t.cancelled {
-			t.ev = e.At(e.now+period, tick).ev
-		}
-	}
-	t.ev = e.At(e.now+period, tick).ev
-	return t
+// period elapses. The returned Timer cancels the whole series. The
+// series re-arms in place: no allocation per tick.
+func (e *Engine) Every(period Duration, fn func()) Timer {
+	slot, gen := e.allocSlot()
+	e.push(event{at: e.clamp(e.now + period), seq: e.seq, slot: slot, period: period, fn: fn})
+	e.seq++
+	return Timer{e: e, slot: slot, gen: gen}
+}
+
+// Schedule runs fn at absolute time t with no cancellation handle.
+// This is the allocation-free fast path for fire-and-forget events.
+func (e *Engine) Schedule(t Time, fn func()) {
+	e.push(event{at: e.clamp(t), seq: e.seq, slot: noSlot, fn: fn})
+	e.seq++
+}
+
+// ScheduleAfter runs fn d after the current time with no handle.
+func (e *Engine) ScheduleAfter(d Duration, fn func()) {
+	e.Schedule(e.now+d, fn)
+}
+
+// ScheduleArg runs fn(arg) at absolute time t with no handle. Passing a
+// long-lived fn (e.g. a method value stored once) with a per-event arg
+// avoids allocating a closure per event; combined with caller-side arg
+// pooling the steady-state cost of an event is zero allocations.
+func (e *Engine) ScheduleArg(t Time, fn func(any), arg any) {
+	e.push(event{at: e.clamp(t), seq: e.seq, slot: noSlot, afn: fn, arg: arg})
+	e.seq++
 }
 
 // Run executes events until the queue drains, the clock passes until,
 // or Stop is called. It returns the time of the last executed event.
 func (e *Engine) Run(until Time) Time {
 	e.stopped = false
-	for len(e.events) > 0 && !e.stopped {
-		ev := e.events[0]
-		if ev.at > until {
+	for len(e.heap) > 0 && !e.stopped {
+		if e.heap[0].at > until {
 			break
 		}
-		heap.Pop(&e.events)
-		if ev.fn == nil {
-			continue // cancelled
+		ev := e.pop()
+		if ev.slot != noSlot {
+			s := &e.slots[ev.slot]
+			if s.cancelled {
+				e.freeSlot(ev.slot)
+				continue
+			}
+			if ev.period <= 0 {
+				// One-shot: it is firing now, so the handle reports
+				// stopped from here on (matching historical behavior
+				// even for Stopped calls made during the callback).
+				e.freeSlot(ev.slot)
+			}
 		}
 		e.now = ev.at
-		fn := ev.fn
-		ev.fn = nil
 		e.fired++
-		fn()
+		if ev.fn != nil {
+			ev.fn()
+		} else {
+			ev.afn(ev.arg)
+		}
+		if ev.period > 0 {
+			// Periodic: re-arm unless the callback cancelled the series.
+			if e.slots[ev.slot].cancelled {
+				e.freeSlot(ev.slot)
+			} else {
+				ev.at = e.now + ev.period
+				ev.seq = e.seq
+				e.seq++
+				e.push(ev)
+			}
+		}
 	}
 	if e.now < until && !e.stopped {
 		e.now = until

@@ -66,7 +66,7 @@ func TestEngineAfterAndNow(t *testing.T) {
 func TestEngineEvery(t *testing.T) {
 	e := NewEngine(1)
 	n := 0
-	var tick *Timer
+	var tick Timer
 	tick = e.Every(100*Millisecond, func() {
 		n++
 		if n == 5 {
@@ -177,5 +177,201 @@ func TestEngineFiredCount(t *testing.T) {
 	e.Run(Second)
 	if e.Fired() != 25 {
 		t.Fatalf("Fired=%d want 25", e.Fired())
+	}
+}
+
+// Regression: a live periodic timer must not report Stopped between
+// ticks. The old implementation cleared the underlying event's callback
+// during each fire, so Stopped flickered true mid-series.
+func TestEveryStoppedMidSeries(t *testing.T) {
+	e := NewEngine(1)
+	var tick Timer
+	var mid []bool
+	tick = e.Every(100*Millisecond, func() {
+		mid = append(mid, tick.Stopped())
+	})
+	e.At(450*Millisecond, func() {
+		if tick.Stopped() {
+			t.Error("live periodic timer reported Stopped between ticks")
+		}
+	})
+	e.Run(500 * Millisecond)
+	for i, s := range mid {
+		if s {
+			t.Fatalf("tick %d observed Stopped()=true during a live series", i)
+		}
+	}
+	if len(mid) != 5 {
+		t.Fatalf("fired %d ticks, want 5", len(mid))
+	}
+	tick.Cancel()
+	if !tick.Stopped() {
+		t.Fatal("cancelled periodic timer not Stopped")
+	}
+}
+
+// Cancelling a periodic timer from inside its own callback must stop
+// the series immediately (no further re-arm).
+func TestEveryCancelDuringFire(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	var tick Timer
+	tick = e.Every(10*Millisecond, func() {
+		n++
+		tick.Cancel()
+	})
+	e.Run(Second)
+	if n != 1 {
+		t.Fatalf("series fired %d times after self-cancel, want 1", n)
+	}
+	if !tick.Stopped() {
+		t.Fatal("self-cancelled timer not Stopped")
+	}
+}
+
+// A one-shot timer reports Stopped from within its own callback (it is
+// already firing and will not fire again), matching historical behavior.
+func TestOneShotStoppedDuringFire(t *testing.T) {
+	e := NewEngine(1)
+	var tm Timer
+	stopped := false
+	tm = e.At(Millisecond, func() { stopped = tm.Stopped() })
+	e.Run(Second)
+	if !stopped {
+		t.Fatal("one-shot timer not Stopped during its own fire")
+	}
+	if !tm.Stopped() {
+		t.Fatal("fired one-shot timer not Stopped afterwards")
+	}
+}
+
+// Stale handles must stay safe no-ops after their slot is recycled:
+// Cancel on an old generation must not kill the new occupant.
+func TestTimerStaleHandleAfterSlotReuse(t *testing.T) {
+	e := NewEngine(1)
+	old := e.At(Millisecond, func() {})
+	e.Run(2 * Millisecond) // fires; slot freed
+	if !old.Stopped() {
+		t.Fatal("fired timer not Stopped")
+	}
+	fired := false
+	fresh := e.At(10*Millisecond, func() { fired = true }) // reuses the slot
+	old.Cancel()                                           // stale: must not affect fresh
+	if fresh.Stopped() {
+		t.Fatal("stale Cancel affected the slot's new occupant")
+	}
+	e.Run(Second)
+	if !fired {
+		t.Fatal("new timer did not fire after stale Cancel")
+	}
+	var zero Timer
+	if !zero.Stopped() {
+		t.Fatal("zero Timer must report Stopped")
+	}
+	zero.Cancel() // must not panic
+}
+
+// Schedule and ScheduleArg interleave with At in strict (time, seq)
+// order.
+func TestScheduleAndScheduleArgOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.Schedule(5*Millisecond, func() { got = append(got, 0) })
+	e.ScheduleArg(5*Millisecond, func(a any) { got = append(got, a.(int)) }, 1)
+	e.At(5*Millisecond, func() { got = append(got, 2) })
+	e.ScheduleAfter(5*Millisecond, func() { got = append(got, 3) })
+	e.Run(Second)
+	for i := 0; i < 4; i++ {
+		if got[i] != i {
+			t.Fatalf("mixed scheduling not FIFO at same instant: %v", got)
+		}
+	}
+}
+
+// Two engines with the same seed executing the same workload must agree
+// exactly on clock, fired count, and RNG draws.
+func TestEngineGoldenDeterminism(t *testing.T) {
+	trace := func() (uint64, Time, int64) {
+		e := NewEngine(42)
+		rng := e.RNG(7)
+		var sum int64
+		for i := 0; i < 500; i++ {
+			d := Duration(rng.Int63n(int64(Second)))
+			e.Schedule(e.Now()+d, func() { sum += int64(e.Now()) })
+		}
+		e.Every(33*Millisecond, func() { sum++ })
+		end := e.Run(2 * Second)
+		return e.Fired(), end, sum
+	}
+	f1, t1, s1 := trace()
+	f2, t2, s2 := trace()
+	if f1 != f2 || t1 != t2 || s1 != s2 {
+		t.Fatalf("same seed diverged: (%d,%v,%d) vs (%d,%v,%d)", f1, t1, s1, f2, t2, s2)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Micro-benchmarks. BenchmarkEngineSchedule is the headline
+// allocation-free scheduler number: the seed implementation cost ~3
+// allocations per event (heap-allocated event, container/heap
+// interface boxing, Timer handle); the value-heap scheduler costs zero
+// in steady state.
+// ---------------------------------------------------------------------
+
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(e.Now()+Time(i%1000)*Microsecond, fn)
+		if e.Pending() >= 1024 {
+			e.Run(e.Now() + Second)
+		}
+	}
+	e.Run(1 << 62)
+}
+
+func BenchmarkEngineScheduleArg(b *testing.B) {
+	e := NewEngine(1)
+	var sink int
+	fn := func(a any) { sink += a.(int) }
+	arg := any(1) // pre-boxed: steady-state events allocate nothing
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ScheduleArg(e.Now()+Time(i%1000)*Microsecond, fn, arg)
+		if e.Pending() >= 1024 {
+			e.Run(e.Now() + Second)
+		}
+	}
+	e.Run(1 << 62)
+	_ = sink
+}
+
+func BenchmarkEngineAtTimer(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.At(e.Now()+Time(i%1000)*Microsecond, fn)
+		if e.Pending() >= 1024 {
+			e.Run(e.Now() + Second)
+		}
+	}
+	e.Run(1 << 62)
+}
+
+func BenchmarkEngineEvery(b *testing.B) {
+	e := NewEngine(1)
+	n := 0
+	e.Every(Millisecond, func() { n++ })
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run(Time(b.N) * Millisecond)
+	b.StopTimer()
+	if n < b.N {
+		b.Fatalf("fired %d ticks, want >= %d", n, b.N)
 	}
 }

@@ -103,9 +103,9 @@ func Deploy(net *netem.Network, tree *overlay.Tree, cfg Config, col *metrics.Col
 		root.seen.Add(seq)
 		root.forward(seq, cfg.PacketSize)
 		seq++
-		sys.eng.After(interval, pump)
+		sys.eng.ScheduleAfter(interval, pump)
 	}
-	sys.eng.At(cfg.Start, pump)
+	sys.eng.Schedule(cfg.Start, pump)
 	return sys, nil
 }
 

@@ -10,22 +10,44 @@ import (
 // Router answers fixed shortest-path routing queries over a Graph,
 // modeling IP unicast routing (assumption 1 of §4.1: the routing path
 // between any two overlay participants is fixed). Paths are shortest by
-// propagation delay. Shortest-path trees are computed lazily per source
-// and cached, so repeated queries from the same participant are O(path).
+// propagation delay.
+//
+// All caches are flat slices indexed by node id, never maps: shortest-
+// path trees are computed lazily per source, and the materialized
+// link-id path for each (source, destination) pair is memoized on
+// first use, so the steady-state cost of a Path query is two slice
+// loads and the hot forwarding path never recomputes or reallocates a
+// route. Paths are cached only for client (overlay participant)
+// destinations — the only destinations traffic is addressed to — so
+// the cache is participants-wide, not topology-wide; queries to other
+// destinations still work but materialize per call.
 type Router struct {
-	g     *Graph
-	cache map[int]*spTree
+	g         *Graph
+	trees     []*spTree // indexed by source node id; nil until first query
+	clientIdx []int32   // node id -> index into g.Clients, or -1
 }
 
 type spTree struct {
 	prevLink []int32 // incoming link on the shortest path, -1 at source
 	prevNode []int32
-	dist     []int64 // nanoseconds of propagation delay; -1 = unreachable
+	dist     []int64   // nanoseconds of propagation delay; -1 = unreachable
+	paths    [][]int32 // memoized Path results, indexed by clientIdx
 }
+
+// emptyPath is the shared result for from == to queries, distinct from
+// the nil "unreachable" result.
+var emptyPath = []int32{}
 
 // NewRouter creates a router for g.
 func NewRouter(g *Graph) *Router {
-	return &Router{g: g, cache: make(map[int]*spTree)}
+	idx := make([]int32, len(g.Nodes))
+	for i := range idx {
+		idx[i] = -1
+	}
+	for i, c := range g.Clients {
+		idx[c] = int32(i)
+	}
+	return &Router{g: g, trees: make([]*spTree, len(g.Nodes)), clientIdx: idx}
 }
 
 // Graph returns the underlying topology.
@@ -46,7 +68,7 @@ func (q *pq) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q =
 const unreachable = int64(-1)
 
 func (r *Router) tree(src int) *spTree {
-	if t, ok := r.cache[src]; ok {
+	if t := r.trees[src]; t != nil {
 		return t
 	}
 	n := len(r.g.Nodes)
@@ -54,6 +76,7 @@ func (r *Router) tree(src int) *spTree {
 		prevLink: make([]int32, n),
 		prevNode: make([]int32, n),
 		dist:     make([]int64, n),
+		paths:    make([][]int32, len(r.g.Clients)),
 	}
 	for i := range t.dist {
 		t.dist[i] = unreachable
@@ -78,30 +101,48 @@ func (r *Router) tree(src int) *spTree {
 			}
 		}
 	}
-	r.cache[src] = t
+	r.trees[src] = t
 	return t
 }
 
 // Path returns the link IDs along the shortest path from -> to, in
 // traversal order. It returns nil if to is unreachable, and an empty
-// slice if from == to.
+// slice if from == to. The returned slice is owned by the router's
+// cache and shared between callers: treat it as immutable.
 func (r *Router) Path(from, to int) []int32 {
 	if from == to {
-		return []int32{}
+		return emptyPath
 	}
 	t := r.tree(from)
 	if t.dist[to] == unreachable {
 		return nil
 	}
-	var rev []int32
-	for n := int32(to); n != int32(from); n = t.prevNode[n] {
-		rev = append(rev, t.prevLink[n])
+	ci := r.clientIdx[to]
+	if ci >= 0 {
+		if p := t.paths[ci]; p != nil {
+			return p
+		}
 	}
-	// reverse in place
-	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
-		rev[i], rev[j] = rev[j], rev[i]
+	p := materialize(t, int32(from), int32(to))
+	if ci >= 0 {
+		t.paths[ci] = p
 	}
-	return rev
+	return p
+}
+
+// materialize walks the predecessor chain twice: once to count hops,
+// once to fill front-to-back, so no reversal pass is needed.
+func materialize(t *spTree, from, to int32) []int32 {
+	hops := 0
+	for n := to; n != from; n = t.prevNode[n] {
+		hops++
+	}
+	p := make([]int32, hops)
+	for n := to; n != from; n = t.prevNode[n] {
+		hops--
+		p[hops] = t.prevLink[n]
+	}
+	return p
 }
 
 // Delay returns the one-way propagation delay of the shortest path.

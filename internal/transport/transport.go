@@ -274,15 +274,13 @@ type recvFlow struct {
 	ep      *Endpoint
 	key     flowKey
 	rcv     *tfrc.Receiver
-	fbTimer *sim.Timer
+	fbTimer sim.Timer
 	idle    int
 }
 
 func (rf *recvFlow) stop() {
-	if rf.fbTimer != nil {
-		rf.fbTimer.Cancel()
-		rf.fbTimer = nil
-	}
+	rf.fbTimer.Cancel()
+	rf.fbTimer = sim.Timer{}
 }
 
 func (rf *recvFlow) scheduleFeedback() {
@@ -303,7 +301,7 @@ func (rf *recvFlow) sendFeedback() {
 		rf.idle++
 		if rf.idle > 20 {
 			// Dormant flow: stop feedback until data arrives again.
-			rf.fbTimer = nil
+			rf.fbTimer = sim.Timer{}
 			return
 		}
 	} else {
@@ -336,7 +334,7 @@ func (ep *Endpoint) onPacket(pkt netem.Packet) {
 		}
 		now := ep.eng.Now().ToSeconds()
 		rf.rcv.OnData(now, m.flowSeq, pkt.Size, m.ts, m.rtt)
-		if rf.fbTimer == nil {
+		if rf.fbTimer.Stopped() {
 			rf.idle = 0
 			rf.scheduleFeedback()
 		}
