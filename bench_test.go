@@ -112,6 +112,33 @@ func BenchmarkFig15(b *testing.B) {
 	})
 }
 
+// Dynamic-network benches: Bullet vs the streaming baseline under
+// scenario-driven link mutations. The recovery metrics are the
+// headline numbers of the dynamics subsystem.
+
+func BenchmarkDynPartition(b *testing.B) {
+	benchExperiment(b, "dyn-partition", func(b *testing.B, r *bullet.ExperimentResult) {
+		b.ReportMetric(r.Summary["bullet_recovery_ratio"], "bullet_recovery")
+		b.ReportMetric(r.Summary["stream_recovery_ratio"], "stream_recovery")
+		b.ReportMetric(r.Summary["bullet_overall_kbps"], "bullet_kbps")
+		b.ReportMetric(r.Summary["stream_overall_kbps"], "stream_kbps")
+	})
+}
+
+func BenchmarkDynBottleneck(b *testing.B) {
+	benchExperiment(b, "dyn-bottleneck", func(b *testing.B, r *bullet.ExperimentResult) {
+		b.ReportMetric(r.Summary["bullet_during_kbps"], "bullet_during_kbps")
+		b.ReportMetric(r.Summary["stream_during_kbps"], "stream_during_kbps")
+	})
+}
+
+func BenchmarkDynFlashCrowd(b *testing.B) {
+	benchExperiment(b, "dyn-flashcrowd", func(b *testing.B, r *bullet.ExperimentResult) {
+		b.ReportMetric(r.Summary["bullet_overall_kbps"], "bullet_kbps")
+		b.ReportMetric(r.Summary["stream_overall_kbps"], "stream_kbps")
+	})
+}
+
 func BenchmarkOvercast(b *testing.B) {
 	benchExperiment(b, "overcast", func(b *testing.B, r *bullet.ExperimentResult) {
 		b.ReportMetric(r.Summary["overcast_to_offline_ratio"], "ratio")

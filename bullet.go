@@ -39,6 +39,7 @@ import (
 	"bullet/internal/metrics"
 	"bullet/internal/netem"
 	"bullet/internal/overlay"
+	"bullet/internal/scenario"
 	"bullet/internal/sim"
 	"bullet/internal/streamer"
 	"bullet/internal/topology"
@@ -86,6 +87,13 @@ type (
 	ExperimentRun = experiments.Run
 	// ExperimentRunResult pairs an ExperimentRun with its outcome.
 	ExperimentRunResult = experiments.RunResult
+	// Scenario is a declarative schedule of timed network events
+	// (failures, bandwidth shifts, partitions); see NewScenario.
+	Scenario = scenario.Schedule
+	// ScenarioAction is one atomic network mutation in a Scenario.
+	ScenarioAction = scenario.Action
+	// ScenarioEnv is what scenario actions act upon.
+	ScenarioEnv = scenario.Env
 )
 
 // Measurement kinds.
@@ -190,6 +198,52 @@ func (w *World) Run(until Time) { w.eng.Run(until) }
 
 // At schedules fn at virtual time t (e.g. to inject a failure).
 func (w *World) At(t Time, fn func()) { w.eng.At(t, fn) }
+
+// Scenario installs a schedule of timed network events (link failures,
+// bandwidth shifts, partitions, ramps, oscillations) into this world.
+// Events fire deterministically at their scheduled virtual times during
+// Run. An empty scenario leaves the run byte-identical to one without.
+//
+//	s := bullet.NewScenario().
+//	    At(30*bullet.Second, bullet.FailLink(lid)).
+//	    At(60*bullet.Second, bullet.RestoreLink(lid))
+//	w.Scenario(s)
+func (w *World) Scenario(s *Scenario) {
+	s.Install(&scenario.Env{Eng: w.eng, G: w.g})
+}
+
+// NewScenario returns an empty scenario schedule. Populate it with At,
+// Ramp, RampBandwidth, and Oscillate, then install via World.Scenario.
+func NewScenario() *Scenario { return scenario.New() }
+
+// Scenario action constructors, re-exported from internal/scenario.
+
+// FailLink takes a physical link down: routing avoids it and packets
+// traversing it are dropped.
+func FailLink(link int) ScenarioAction { return scenario.FailLink(link) }
+
+// RestoreLink brings a failed link back up.
+func RestoreLink(link int) ScenarioAction { return scenario.RestoreLink(link) }
+
+// SetBandwidth sets a link's capacity in Kbps (per direction).
+func SetBandwidth(link int, kbps float64) ScenarioAction { return scenario.SetBandwidth(link, kbps) }
+
+// ScaleBandwidth multiplies a link's capacity by factor.
+func ScaleBandwidth(link int, factor float64) ScenarioAction {
+	return scenario.ScaleBandwidth(link, factor)
+}
+
+// SetLatency sets a link's propagation delay.
+func SetLatency(link int, d Duration) ScenarioAction { return scenario.SetLatency(link, d) }
+
+// SetLoss sets a link's independent per-packet loss probability.
+func SetLoss(link int, loss float64) ScenarioAction { return scenario.SetLoss(link, loss) }
+
+// PartitionNodes cuts the node set off from the rest of the network.
+func PartitionNodes(nodes ...int) ScenarioAction { return scenario.Partition(nodes...) }
+
+// HealPartition restores every link failed by PartitionNodes.
+func HealPartition() ScenarioAction { return scenario.Heal() }
 
 // RandomTree builds a random degree-bounded tree over the participants
 // rooted at the first participant.

@@ -60,8 +60,17 @@ func TestRunExperimentUnknown(t *testing.T) {
 
 func TestExperimentsListed(t *testing.T) {
 	ids := bullet.Experiments()
-	if len(ids) != 12 {
-		t.Fatalf("%d experiments, want 12", len(ids))
+	if len(ids) != 16 {
+		t.Fatalf("%d experiments, want 16", len(ids))
+	}
+	listed := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		listed[id] = true
+	}
+	for _, id := range []string{"dyn-bottleneck", "dyn-partition", "dyn-flashcrowd", "dyn-oscillate"} {
+		if !listed[id] {
+			t.Errorf("dynamic experiment %q not listed", id)
+		}
 	}
 }
 

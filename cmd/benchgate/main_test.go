@@ -1,0 +1,196 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: bullet
+BenchmarkFig07-8   	       1	2052964325 ns/op	        19.88 control_kbps	         0.1607 dup_ratio	         2.393 link_stress	       658.8 raw_kbps	       551.8 useful_kbps	155018464 B/op	 1503626 allocs/op
+BenchmarkTable1-8  	       1	  11483393 ns/op	      1500 topo_nodes	 3231288 B/op	   27066 allocs/op
+PASS
+ok  	bullet	4.567s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	fig7 := rep.Benchmarks["BenchmarkFig07"]
+	if fig7 == nil {
+		t.Fatal("BenchmarkFig07 missing (GOMAXPROCS suffix not stripped?)")
+	}
+	checks := map[string]float64{
+		"ns/op":       2052964325,
+		"useful_kbps": 551.8,
+		"dup_ratio":   0.1607,
+		"B/op":        155018464,
+		"allocs/op":   1503626,
+	}
+	for unit, want := range checks {
+		if got := fig7[unit]; got != want {
+			t.Errorf("%s = %v, want %v", unit, got, want)
+		}
+	}
+}
+
+func writeBaseline(t *testing.T, rep *Report) string {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGatePassesWithinThreshold(t *testing.T) {
+	base := writeBaseline(t, &Report{Benchmarks: map[string]Metrics{
+		"BenchmarkFig07":  {"ns/op": 1800000000}, // current is +14%: allowed
+		"BenchmarkTable1": {"ns/op": 11000000},
+	}})
+	var out, errb bytes.Buffer
+	code := run([]string{"-baseline", base}, strings.NewReader(benchOutput), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "BenchmarkFig07") {
+		t.Error("comparison table missing BenchmarkFig07")
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	base := writeBaseline(t, &Report{Benchmarks: map[string]Metrics{
+		"BenchmarkFig07": {"ns/op": 1000000000}, // current is +105%: fails at 20%
+	}})
+	var out, errb bytes.Buffer
+	code := run([]string{"-baseline", base, "-max-regress", "0.20"},
+		strings.NewReader(benchOutput), &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "BenchmarkFig07") {
+		t.Errorf("stderr %q does not name the regressed benchmark", errb.String())
+	}
+}
+
+func TestGateFailsOnMissingBenchmark(t *testing.T) {
+	base := writeBaseline(t, &Report{Benchmarks: map[string]Metrics{
+		"BenchmarkDeleted": {"ns/op": 1e9},
+	}})
+	var out, errb bytes.Buffer
+	code := run([]string{"-baseline", base}, strings.NewReader(benchOutput), &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (baseline benchmark missing from run)", code)
+	}
+	if !strings.Contains(errb.String(), "missing from current run") {
+		t.Errorf("stderr %q missing explanation", errb.String())
+	}
+}
+
+// Benchmarks under the -min-ns floor are recorded but never gated:
+// single-iteration timings of sub-100ms benches are noise.
+func TestGateSkipsTinyBenchmarks(t *testing.T) {
+	base := writeBaseline(t, &Report{Benchmarks: map[string]Metrics{
+		"BenchmarkTable1": {"ns/op": 11000000}, // 11ms baseline, current is +4%
+	}})
+	var out, errb bytes.Buffer
+	code := run([]string{"-baseline", base, "-max-regress", "0.001"},
+		strings.NewReader(benchOutput), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 (tiny bench should be skipped); stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "skipped") {
+		t.Errorf("table %q does not mark the tiny bench skipped", out.String())
+	}
+	// With the floor lowered it gates (and fails at 0.1%).
+	code = run([]string{"-baseline", base, "-max-regress", "0.001", "-min-ns", "1000"},
+		strings.NewReader(benchOutput), &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 with -min-ns 1000", code)
+	}
+}
+
+// With -calibrate, a uniform hardware-speed delta between baseline and
+// current machine cancels out, while a single outlier benchmark still
+// fails the gate.
+func TestCalibrateCancelsUniformShift(t *testing.T) {
+	// Baseline is uniformly ~1.6x faster than the "current" machine
+	// (as if recorded on faster hardware): without calibration every
+	// bench fails, with it none do.
+	base := writeBaseline(t, &Report{Benchmarks: map[string]Metrics{
+		"BenchmarkFig07":  {"ns/op": 2052964325.0 / 1.6},
+		"BenchmarkTable1": {"ns/op": 11483393.0 / 1.6},
+	}})
+	var out, errb bytes.Buffer
+	code := run([]string{"-baseline", base, "-min-ns", "1000"},
+		strings.NewReader(benchOutput), &out, &errb)
+	if code != 1 {
+		t.Fatalf("uncalibrated exit %d, want 1 (uniform shift trips gate)", code)
+	}
+	code = run([]string{"-baseline", base, "-min-ns", "1000", "-calibrate"},
+		strings.NewReader(benchOutput), &out, &errb)
+	if code != 0 {
+		t.Fatalf("calibrated exit %d, want 0; stderr: %s", code, errb.String())
+	}
+
+	// One bench regressing 2x against an otherwise-matching baseline
+	// fails even with calibration (median tracks the majority).
+	base = writeBaseline(t, &Report{Benchmarks: map[string]Metrics{
+		"BenchmarkFig07":  {"ns/op": 2052964325.0 / 2}, // current looks 2x slower
+		"BenchmarkTable1": {"ns/op": 11483393.0},       // current matches
+	}})
+	code = run([]string{"-baseline", base, "-min-ns", "1000", "-calibrate"},
+		strings.NewReader(benchOutput), &out, &errb)
+	if code != 1 {
+		t.Fatalf("calibrated outlier exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "BenchmarkFig07") {
+		t.Errorf("stderr %q does not name the regressed benchmark", errb.String())
+	}
+}
+
+func TestJSONArtifactRoundTrips(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	var out, errb bytes.Buffer
+	code := run([]string{"-json", path}, strings.NewReader(benchOutput), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0; stderr: %s", code, errb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Benchmarks["BenchmarkFig07"]["useful_kbps"] != 551.8 {
+		t.Error("custom metric lost in JSON round trip")
+	}
+	// The artifact can serve as its own baseline: identical runs pass.
+	code = run([]string{"-baseline", path}, strings.NewReader(benchOutput), &out, &errb)
+	if code != 0 {
+		t.Fatalf("self-baseline exit %d, want 0; stderr: %s", code, errb.String())
+	}
+}
+
+func TestEmptyInputFails(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, strings.NewReader("no benchmarks here\n"), &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1 on empty input", code)
+	}
+}

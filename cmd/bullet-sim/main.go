@@ -6,21 +6,30 @@
 //	bullet-sim -experiment fig7 -scale small -seed 42
 //	bullet-sim -experiment all -scale medium -out results/
 //	bullet-sim -experiment fig6,fig7,fig8 -parallel 4
+//	bullet-sim -experiment dyn-partition,dyn-flashcrowd -parallel 2
 //	bullet-sim -list
 //
 // Scales: small (seconds of wall-clock), medium, paper (the paper's
 // 20,000-node topologies with 1000 participants; minutes to hours).
 //
+// Besides the paper's tables and figures, the dyn-* experiments replay
+// deterministic network-dynamics scenarios (transient bottlenecks,
+// partitions, flash crowds, oscillating links) against Bullet and the
+// plain streaming baseline; see -list for ids.
+//
 // Multiple experiments (a comma-separated list, or "all") fan out
 // across -parallel worker goroutines, each with its own engine and
 // emulator. Results are printed in input order and are byte-identical
 // to a serial run: every experiment is a pure function of
-// (experiment, scale, seed).
+// (experiment, scale, seed). Unknown experiment ids fail the command
+// with a non-zero exit, but only after every completed result has been
+// emitted.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -30,30 +39,42 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its dependencies injected: argv without the program
+// name, and the two output streams. It returns the process exit code.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bullet-sim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		experiment = flag.String("experiment", "", "experiment id, comma-separated list, or \"all\" (see -list)")
-		scaleName  = flag.String("scale", "small", "small | medium | paper")
-		seed       = flag.Int64("seed", 42, "master RNG seed; runs are a pure function of (experiment, scale, seed)")
-		outDir     = flag.String("out", "", "directory for per-experiment TSV files (default: stdout)")
-		parallel   = flag.Int("parallel", 0, "worker goroutines for multi-experiment runs (0 = GOMAXPROCS)")
-		list       = flag.Bool("list", false, "list experiments and exit")
+		experiment = fs.String("experiment", "", "experiment id, comma-separated list, or \"all\" (see -list)")
+		scaleName  = fs.String("scale", "small", "small | medium | paper")
+		seed       = fs.Int64("seed", 42, "master RNG seed; runs are a pure function of (experiment, scale, seed)")
+		outDir     = fs.String("out", "", "directory for per-experiment TSV files (default: stdout)")
+		parallel   = fs.Int("parallel", 0, "worker goroutines for multi-experiment runs (0 = GOMAXPROCS)")
+		list       = fs.Bool("list", false, "list experiments and exit")
+		quiet      = fs.Bool("q", false, "suppress progress output")
 	)
-	flag.Parse()
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, n := range experiments.Names() {
-			fmt.Println(n)
+			fmt.Fprintln(stdout, n)
 		}
-		return
+		return 0
 	}
 	if *experiment == "" {
-		fmt.Fprintln(os.Stderr, "bullet-sim: -experiment is required (or -list)")
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "bullet-sim: -experiment is required (or -list)")
+		fs.Usage()
+		return 2
 	}
 	scale, err := experiments.ScaleByName(*scaleName)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "bullet-sim:", err)
+		return 1
 	}
 	var ids []string
 	if *experiment == "all" {
@@ -63,18 +84,21 @@ func main() {
 	}
 	runs := make([]experiments.Run, len(ids))
 	for i, id := range ids {
-		id = strings.TrimSpace(id)
-		if _, ok := experiments.Registry[id]; !ok {
-			fatal(fmt.Errorf("unknown experiment %q (use -list)", id))
-		}
-		runs[i] = experiments.Run{ID: id, Scale: scale, Seed: *seed}
+		// Unknown ids are not rejected up front: they flow through the
+		// runner as per-run errors so every valid experiment in the list
+		// still executes and prints before the non-zero exit.
+		runs[i] = experiments.Run{ID: strings.TrimSpace(id), Scale: scale, Seed: *seed}
 	}
 
 	start := time.Now()
-	fmt.Fprintf(os.Stderr, "running %d experiment(s) at %s scale (seed %d)...\n",
-		len(runs), scale.Name, *seed)
+	if !*quiet {
+		fmt.Fprintf(stderr, "running %d experiment(s) at %s scale (seed %d)...\n",
+			len(runs), scale.Name, *seed)
+	}
 	results := experiments.RunAll(runs, *parallel)
-	fmt.Fprintf(os.Stderr, "finished in %v\n", time.Since(start).Round(time.Millisecond))
+	if !*quiet {
+		fmt.Fprintf(stderr, "finished in %v\n", time.Since(start).Round(time.Millisecond))
+	}
 
 	// Emit every completed result before failing: by this point all runs
 	// have been computed, so a single bad experiment must not discard
@@ -83,33 +107,38 @@ func main() {
 	for _, rr := range results {
 		if rr.Err != nil {
 			failed++
-			fmt.Fprintf(os.Stderr, "bullet-sim: %s: %v\n", rr.Run.ID, rr.Err)
+			fmt.Fprintf(stderr, "bullet-sim: %s: %v\n", rr.Run.ID, rr.Err)
 			continue
 		}
 		if *outDir == "" {
-			rr.Result.Print(os.Stdout)
+			rr.Result.Print(stdout)
 			continue
 		}
-		if err := os.MkdirAll(*outDir, 0o755); err != nil {
-			fatal(err)
+		if err := writeResult(*outDir, rr, scale.Name, stderr); err != nil {
+			fmt.Fprintln(stderr, "bullet-sim:", err)
+			return 1
 		}
-		path := filepath.Join(*outDir, fmt.Sprintf("%s-%s.tsv", rr.Run.ID, scale.Name))
-		f, err := os.Create(path)
-		if err != nil {
-			fatal(err)
-		}
-		rr.Result.Print(f)
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 	}
 	if failed > 0 {
-		fatal(fmt.Errorf("%d of %d experiment(s) failed", failed, len(results)))
+		fmt.Fprintf(stderr, "bullet-sim: %d of %d experiment(s) failed\n", failed, len(results))
+		return 1
 	}
+	return 0
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "bullet-sim:", err)
-	os.Exit(1)
+func writeResult(dir string, rr experiments.RunResult, scaleName string, stderr io.Writer) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("%s-%s.tsv", rr.Run.ID, scaleName))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	rr.Result.Print(f)
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "wrote %s\n", path)
+	return nil
 }

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestListExits0(t *testing.T) {
+	code, out, _ := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	for _, id := range []string{"table1", "fig7", "dyn-partition", "dyn-flashcrowd"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("-list output missing %q", id)
+		}
+	}
+}
+
+func TestMissingExperimentExits2(t *testing.T) {
+	code, _, errb := runCLI(t)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errb, "-experiment is required") {
+		t.Errorf("stderr %q missing usage hint", errb)
+	}
+}
+
+func TestBadFlagExits2(t *testing.T) {
+	if code, _, _ := runCLI(t, "-no-such-flag"); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestUnknownScaleExits1(t *testing.T) {
+	code, _, errb := runCLI(t, "-experiment", "table1", "-scale", "galactic")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errb, "unknown scale") {
+		t.Errorf("stderr %q missing scale error", errb)
+	}
+}
+
+// A comma-separated list (with stray whitespace) runs every entry and
+// prints results in input order.
+func TestCommaSeparatedListRunsInOrder(t *testing.T) {
+	code, out, _ := runCLI(t, "-q", "-experiment", "table1, overcast", "-scale", "small")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	first := strings.Index(out, "# Table 1")
+	second := strings.Index(out, "# Overcast")
+	if first < 0 || second < 0 || second < first {
+		t.Fatalf("results missing or out of order: table1@%d overcast@%d", first, second)
+	}
+}
+
+// An unknown id exits non-zero, but only after the completed results
+// have been emitted.
+func TestUnknownIDEmitsCompletedResultsThenFails(t *testing.T) {
+	code, out, errb := runCLI(t, "-q", "-experiment", "table1,nope,overcast", "-scale", "small")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(out, "# Table 1") || !strings.Contains(out, "# Overcast") {
+		t.Error("completed results were not emitted before the failure")
+	}
+	if !strings.Contains(errb, `"nope"`) {
+		t.Errorf("stderr %q does not name the unknown experiment", errb)
+	}
+	if !strings.Contains(errb, "1 of 3 experiment(s) failed") {
+		t.Errorf("stderr %q missing failure count", errb)
+	}
+}
+
+// -parallel does not change the output bytes.
+func TestParallelOutputMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("several small-scale runs; skipped in -short")
+	}
+	args := []string{"-q", "-experiment", "table1,overcast,dyn-bottleneck", "-scale", "small"}
+	_, serial, _ := runCLI(t, append(args, "-parallel", "1")...)
+	_, parallel, _ := runCLI(t, append(args, "-parallel", "8")...)
+	if serial != parallel {
+		t.Fatal("parallel output differs from serial")
+	}
+	if len(serial) == 0 {
+		t.Fatal("no output produced")
+	}
+}
+
+func TestOutDirWritesTSVFiles(t *testing.T) {
+	dir := t.TempDir()
+	code, out, _ := runCLI(t, "-q", "-experiment", "table1", "-scale", "small", "-out", dir)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	if out != "" {
+		t.Errorf("stdout %q, want empty when -out is set", out)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "table1-small.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "# Table 1") {
+		t.Error("TSV file missing result header")
+	}
+}

@@ -63,6 +63,116 @@ func TestGoldenStreamerTrace(t *testing.T) {
 	}
 }
 
+// A dynamic-scenario golden trace: the same streamer configuration as
+// TestGoldenStreamerTrace (lossless here) with the worst-case subtree's
+// access link failed at t=20s and restored at t=40s. Pins the full
+// dynamics path — route-epoch invalidation, in-flight re-resolution,
+// down-link drops — to exact values, so any semantic change to the
+// network dynamics subsystem is caught, not just static-path changes.
+func TestGoldenDynamicScenarioTrace(t *testing.T) {
+	w, err := bullet.NewWorld(bullet.WorldConfig{
+		TotalNodes: 1500, Clients: 40, Seed: 42, Loss: bullet.PaperLoss,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := w.RandomTree(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, best := tree.HeaviestChild(tree.Root)
+	lid := w.Graph().AccessLink(victim)
+	if victim != 1488 || best != 18 || lid != 1873 {
+		t.Fatalf("victim selection drifted: victim=%d desc=%d link=%d, want 1488/18/1873", victim, best, lid)
+	}
+	col, err := w.DeployStreamer(tree, bullet.StreamConfig{
+		RateKbps: 600, PacketSize: 1500,
+		Start: 5 * bullet.Second, Duration: 60 * bullet.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Scenario(bullet.NewScenario().
+		At(20*bullet.Second, bullet.FailLink(lid)).
+		At(40*bullet.Second, bullet.RestoreLink(lid)))
+	w.Run(70 * bullet.Second)
+
+	if fired := w.Network().Engine().Fired(); fired != 527297 {
+		t.Errorf("Engine.Fired() = %d, want 527297", fired)
+	}
+	st := w.Network().Stats()
+	checks := []struct {
+		name string
+		got  uint64
+		want uint64
+	}{
+		{"DataBytesSent", st.DataBytesSent, 41931336},
+		{"DataBytesDelivered", st.DataBytesDelivered, 39940992},
+		{"ControlBytes", st.ControlBytes, 880848},
+		{"CongestionDrops", st.CongestionDrops, 244},
+		{"RandomLossDrops", st.RandomLossDrops, 1017},
+		{"LinkDownDrops", st.LinkDownDrops, 5},
+		{"ReroutedPackets", st.ReroutedPackets, 129},
+		{"DeliveredPackets", st.DeliveredPackets, 44493},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s = %d, want %d", c.name, c.got, c.want)
+		}
+	}
+	useful := col.MeanOver(30*bullet.Second, 70*bullet.Second, bullet.Useful)
+	if math.Abs(useful-121.433333333333) > 1e-9 {
+		t.Errorf("useful = %.12f Kbps, want 121.433333333333", useful)
+	}
+}
+
+// The headline dynamics claim as a regression test: after a transient
+// partition of the worst-case subtree (FailLink at 1/3 of the stream,
+// RestoreLink at 2/3), Bullet's useful bandwidth recovers — its mesh
+// keeps descendants fed during the outage and backfills the victim
+// afterwards — while the plain streamer permanently loses the data sent
+// during the outage and degrades badly while it lasts.
+func TestDynPartitionBulletRecoversStreamerDoesNot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full small-scale runs; skipped in -short")
+	}
+	r, err := bullet.RunExperiment("dyn-partition", bullet.SmallScale, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.Summary
+	// Bullet recovers: post-restore useful bandwidth back to (here,
+	// beyond — catch-up) its pre-failure level.
+	if ratio := s["bullet_recovery_ratio"]; ratio < 0.95 {
+		t.Errorf("bullet recovery ratio %.3f, want >= 0.95", ratio)
+	}
+	// Bullet's mesh holds the floor during the outage.
+	if s["bullet_during_kbps"] < 0.9*s["bullet_before_kbps"] {
+		t.Errorf("bullet during outage %.1f Kbps vs %.1f before: mesh did not hold",
+			s["bullet_during_kbps"], s["bullet_before_kbps"])
+	}
+	// The streamer collapses during the outage...
+	if s["stream_during_kbps"] > 0.75*s["stream_before_kbps"] {
+		t.Errorf("stream during outage %.1f Kbps vs %.1f before: expected collapse",
+			s["stream_during_kbps"], s["stream_before_kbps"])
+	}
+	// ...and never gets the lost data back: its overall mean stays
+	// depressed, while Bullet's overall mean stays at its baseline.
+	if s["stream_overall_kbps"] > 0.92*s["stream_before_kbps"] {
+		t.Errorf("stream overall %.1f Kbps vs %.1f before: outage loss should be permanent",
+			s["stream_overall_kbps"], s["stream_before_kbps"])
+	}
+	if s["bullet_overall_kbps"] < 0.98*s["bullet_before_kbps"] {
+		t.Errorf("bullet overall %.1f Kbps vs %.1f before: outage loss should be transient",
+			s["bullet_overall_kbps"], s["bullet_before_kbps"])
+	}
+	// And head-to-head, Bullet recovers where the streamer does not.
+	if s["bullet_recovery_ratio"] < s["stream_recovery_ratio"]+0.1 {
+		t.Errorf("bullet recovery %.3f not clearly above streamer recovery %.3f",
+			s["bullet_recovery_ratio"], s["stream_recovery_ratio"])
+	}
+}
+
 // The Figure 7 headline metrics for the standard (small, seed 42)
 // configuration — the numbers the benchmark trajectory tracks.
 func TestGoldenFig07Metrics(t *testing.T) {

@@ -1,0 +1,52 @@
+package experiments
+
+import "testing"
+
+// Shape checks for the dynamic-network experiments. The headline
+// recovery regression (Bullet recovers from a transient partition, the
+// streamer does not) is pinned at the top level in golden_test.go; here
+// we verify every dyn experiment produces both protocol series, sane
+// phase summaries, and — where the scenario fails links — evidence that
+// the dynamics machinery actually fired.
+func TestDynExperimentsShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full small-scale runs; skipped in -short")
+	}
+	for _, id := range []string{"dyn-bottleneck", "dyn-partition", "dyn-flashcrowd", "dyn-oscillate"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			r, err := Registry[id](Small, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, label := range []string{"bullet_useful", "stream_useful"} {
+				if len(r.Series[label]) == 0 {
+					t.Fatalf("missing series %q", label)
+				}
+			}
+			for _, proto := range []string{"bullet", "stream"} {
+				for _, phase := range []string{"_before_kbps", "_during_kbps", "_after_kbps", "_overall_kbps"} {
+					if v := r.Summary[proto+phase]; v <= 0 {
+						t.Errorf("summary %s%s = %v, want > 0", proto, phase, v)
+					}
+				}
+			}
+			if r.Summary["event_start_s"] >= r.Summary["event_end_s"] {
+				t.Errorf("event window [%v, %v] not ordered",
+					r.Summary["event_start_s"], r.Summary["event_end_s"])
+			}
+			if id == "dyn-partition" {
+				if r.Summary["bullet_rerouted_packets"] == 0 {
+					t.Error("partition scenario never rerouted an in-flight packet")
+				}
+			}
+			// Bullet must beat the streamer overall under every dynamic
+			// scenario — the point of the mesh.
+			if r.Summary["bullet_overall_kbps"] <= r.Summary["stream_overall_kbps"] {
+				t.Errorf("bullet overall %.1f <= stream overall %.1f",
+					r.Summary["bullet_overall_kbps"], r.Summary["stream_overall_kbps"])
+			}
+		})
+	}
+}

@@ -210,6 +210,13 @@ var Registry = map[string]Runner{
 	"fig14":    Fig14,
 	"fig15":    Fig15,
 	"overcast": OvercastComparison,
+
+	// Dynamic-network scenarios (see dynamics.go): Bullet vs the plain
+	// tree streamer under runtime link mutations.
+	"dyn-bottleneck": DynBottleneck,
+	"dyn-partition":  DynPartition,
+	"dyn-flashcrowd": DynFlashCrowd,
+	"dyn-oscillate":  DynOscillate,
 }
 
 // Names returns registry keys in a stable order.

@@ -291,12 +291,7 @@ func failureRun(sc Scale, seed int64, detection bool) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	victim, best := -1, -1
-	for _, k := range tree.Children(tree.Root) {
-		if d := tree.Descendants(k); d > best {
-			best, victim = d, k
-		}
-	}
+	victim, best := tree.HeaviestChild(tree.Root)
 	failAt := sc.Start + sc.Duration/2
 	if victim >= 0 {
 		w.eng.At(failAt, func() { sys.Fail(victim) })

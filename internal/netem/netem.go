@@ -1,11 +1,20 @@
 // Package netem is a deterministic packet-level network emulator: the
 // stand-in for the ModelNet cluster emulator used in the Bullet paper's
-// evaluation. Packets are forwarded hop-by-hop along fixed shortest
-// paths; each link direction models store-and-forward serialization at
-// the link bandwidth, a bounded FIFO queue with tail drop (congestion
+// evaluation. Packets are forwarded hop-by-hop along shortest paths;
+// each link direction models store-and-forward serialization at the
+// link bandwidth, a bounded FIFO queue with tail drop (congestion
 // loss), propagation delay, and independent random loss. These are the
 // exact mechanisms ModelNet emulates, so transports running above (TFRC)
 // observe equivalent loss and delay signals.
+//
+// The underlying topology may change mid-run (scenario-driven bandwidth
+// shifts, link failures, partitions): the emulator stamps every packet
+// with the route epoch its path was resolved at, re-resolves the
+// remaining path from the packet's current node when the epoch
+// advances, and drops packets that would traverse a failed link or
+// whose destination became unreachable. On a static topology all of
+// this reduces to one integer comparison per hop and forwarding is
+// byte-identical to a fully memoized emulator.
 package netem
 
 import (
@@ -61,13 +70,18 @@ type dirState struct {
 
 // inflight is the pooled per-packet forwarding state. The routed path
 // is computed once at Send (a shared slice from the router's cache) and
-// carried with the packet, so no hop ever re-derives or re-looks-up the
-// route.
+// carried with the packet, so on a static network no hop ever
+// re-derives or re-looks-up the route. The path is stamped with the
+// route epoch it was resolved at; if the epoch advances while the
+// packet is in flight (a scenario failed a link, healed a partition,
+// ...), the next hop re-resolves the remaining path from the packet's
+// current node.
 type inflight struct {
-	pkt  Packet
-	path []int32 // link ids, traversal order; owned by the router cache
-	i    int     // next path index to traverse
-	cur  int     // current node
+	pkt   Packet
+	path  []int32 // link ids, traversal order; owned by the router cache
+	i     int     // next path index to traverse
+	cur   int     // current node
+	epoch uint64  // route epoch path was resolved at
 }
 
 // Network emulates the physical topology for registered participants.
@@ -92,6 +106,8 @@ type Network struct {
 	controlBytes     uint64
 	congestionDrops  uint64
 	randomLossDrops  uint64
+	linkDownDrops    uint64
+	rerouted         uint64
 	deliveredPackets uint64
 
 	// Link stress: per traced sequence, per link, copy count.
@@ -170,13 +186,31 @@ func (n *Network) Send(pkt Packet) {
 	f.path = path
 	f.i = 0
 	f.cur = pkt.From
+	f.epoch = n.g.Epoch()
 	n.hop(f)
 }
 
 // hop processes arrival of the packet at the input of path[i] and
 // schedules the next-hop arrival. The inflight state is released to the
 // pool when the packet is delivered or dropped.
+//
+// If the route epoch advanced while the packet was in flight, the
+// remaining path is re-resolved from the packet's current node before
+// the hop proceeds: packets reroute around failures mid-flight, and a
+// packet whose destination became unreachable is dropped. On a static
+// network the epoch comparison never fires.
 func (n *Network) hop(f *inflight) {
+	if e := n.g.Epoch(); f.epoch != e {
+		f.epoch = e
+		f.path = n.rt.Path(f.cur, f.pkt.To)
+		f.i = 0
+		n.rerouted++
+		if f.path == nil && f.cur != f.pkt.To {
+			n.linkDownDrops++
+			n.putInflight(f)
+			return
+		}
+	}
 	if f.i == len(f.path) {
 		n.deliver(f.pkt)
 		n.putInflight(f)
@@ -184,6 +218,16 @@ func (n *Network) hop(f *inflight) {
 	}
 	lid := f.path[f.i]
 	l := &n.g.Links[lid]
+	if l.Down {
+		// Invariant guard, not a normal path: every mutator that sets
+		// Down also bumps the route epoch, so the re-resolution above
+		// keeps current-epoch paths free of down links. This fires only
+		// if Link state was mutated directly (Links is exported) without
+		// going through the Graph mutators; dropping is the safe answer.
+		n.linkDownDrops++
+		n.putInflight(f)
+		return
+	}
 	dir := 0
 	next := l.B
 	if f.cur == l.B {
@@ -259,7 +303,14 @@ type Stats struct {
 	ControlBytes       uint64
 	CongestionDrops    uint64
 	RandomLossDrops    uint64
-	DeliveredPackets   uint64
+	// LinkDownDrops counts packets lost to failed links or partitions:
+	// either the destination became unreachable mid-flight, or the next
+	// link went down with no alternative route.
+	LinkDownDrops uint64
+	// ReroutedPackets counts in-flight packets that observed a route
+	// epoch change and re-resolved their remaining path.
+	ReroutedPackets  uint64
+	DeliveredPackets uint64
 }
 
 // Stats returns a snapshot of aggregate counters.
@@ -270,6 +321,8 @@ func (n *Network) Stats() Stats {
 		ControlBytes:       n.controlBytes,
 		CongestionDrops:    n.congestionDrops,
 		RandomLossDrops:    n.randomLossDrops,
+		LinkDownDrops:      n.linkDownDrops,
+		ReroutedPackets:    n.rerouted,
 		DeliveredPackets:   n.deliveredPackets,
 	}
 }

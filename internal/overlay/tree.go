@@ -82,6 +82,21 @@ func (t *Tree) SubtreeSize(node int) int {
 // Descendants returns SubtreeSize - 1.
 func (t *Tree) Descendants(node int) int { return t.SubtreeSize(node) - 1 }
 
+// HeaviestChild returns the child of node with the most descendants
+// (first wins on ties, so the result is deterministic) along with that
+// descendant count, or (-1, -1) if node has no children. This is the
+// "worst single failure" selection of the paper's §4.6 experiments,
+// shared by the failure and dynamics scenarios.
+func (t *Tree) HeaviestChild(node int) (child, descendants int) {
+	child, descendants = -1, -1
+	for _, k := range t.children[node] {
+		if d := t.Descendants(k); d > descendants {
+			descendants, child = d, k
+		}
+	}
+	return child, descendants
+}
+
 // Depth returns the maximum root-to-leaf hop count.
 func (t *Tree) Depth() int {
 	var walk func(n, d int) int

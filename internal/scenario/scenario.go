@@ -1,0 +1,178 @@
+// Package scenario provides declarative schedules of timed network
+// events — link failures and repairs, bandwidth/latency/loss changes,
+// partitions, ramps, and periodic oscillations — that replay
+// deterministically on the simulation engine.
+//
+// A Schedule is built up-front from pure data (times and actions), then
+// installed once on an engine/graph pair. Because every event is
+// scheduled at install time with a fixed virtual timestamp and the
+// engine fires same-instant events in scheduling order, a run with a
+// scenario remains a pure function of (config, seed, schedule). An
+// empty schedule installs nothing and leaves the run byte-identical to
+// one without a scenario.
+//
+//	s := scenario.New().
+//	    At(30*sim.Second, scenario.FailLink(lid)).
+//	    At(60*sim.Second, scenario.RestoreLink(lid)).
+//	    RampBandwidth(other, 80*sim.Second, 20*sim.Second, 10, 4000, 1000)
+//	s.Install(&scenario.Env{Eng: eng, G: g})
+package scenario
+
+import (
+	"sort"
+
+	"bullet/internal/sim"
+	"bullet/internal/topology"
+)
+
+// Env is what actions act upon: the simulation engine that carries
+// virtual time and the graph whose link state they mutate.
+type Env struct {
+	Eng *sim.Engine
+	G   *topology.Graph
+}
+
+// Action is one atomic network mutation. Actions must be deterministic:
+// they may read and mutate Env state but must not consult wall-clock
+// time or unseeded randomness.
+type Action func(env *Env)
+
+// FailLink takes the link down (routing avoids it; traversing packets
+// are dropped).
+func FailLink(link int) Action {
+	return func(env *Env) { env.G.FailLink(link) }
+}
+
+// RestoreLink brings a failed link back up.
+func RestoreLink(link int) Action {
+	return func(env *Env) { env.G.RestoreLink(link) }
+}
+
+// SetBandwidth sets the link capacity in Kbps (per direction).
+// kbps <= 0 is ignored; use FailLink to take a link out of service.
+func SetBandwidth(link int, kbps float64) Action {
+	return func(env *Env) { env.G.SetBandwidth(link, kbps) }
+}
+
+// ScaleBandwidth multiplies the link capacity by factor.
+func ScaleBandwidth(link int, factor float64) Action {
+	return func(env *Env) { env.G.ScaleBandwidth(link, factor) }
+}
+
+// SetLatency sets the link propagation delay.
+func SetLatency(link int, d sim.Duration) Action {
+	return func(env *Env) { env.G.SetLatency(link, d) }
+}
+
+// SetLoss sets the link's independent per-packet loss probability.
+func SetLoss(link int, loss float64) Action {
+	return func(env *Env) { env.G.SetLoss(link, loss) }
+}
+
+// Partition cuts the node set off from the rest of the network by
+// failing every crossing link.
+func Partition(nodes ...int) Action {
+	ns := append([]int(nil), nodes...)
+	return func(env *Env) { env.G.Partition(ns) }
+}
+
+// Heal restores every link failed by Partition.
+func Heal() Action {
+	return func(env *Env) { env.G.Heal() }
+}
+
+// Func wraps an arbitrary deterministic function as an Action, for
+// mutations the stock vocabulary does not cover.
+func Func(fn func(env *Env)) Action { return fn }
+
+// event is one scheduled batch of actions.
+type event struct {
+	at      sim.Time
+	seq     int // insertion order; tie-break for same-instant events
+	actions []Action
+}
+
+// Schedule is an ordered set of timed events. The zero value is not
+// usable; construct with New. Builder methods return the schedule for
+// chaining and may be called in any order: Install sorts events by
+// (time, insertion order).
+type Schedule struct {
+	events []event
+}
+
+// New returns an empty schedule.
+func New() *Schedule { return &Schedule{} }
+
+// Len returns the number of scheduled events (an applied ramp or
+// oscillation counts each step).
+func (s *Schedule) Len() int { return len(s.events) }
+
+// At schedules the actions to run atomically at virtual time t.
+func (s *Schedule) At(t sim.Time, actions ...Action) *Schedule {
+	s.events = append(s.events, event{at: t, seq: len(s.events), actions: actions})
+	return s
+}
+
+// Ramp schedules steps+1 events evenly spread over [start, start+dur];
+// the i'th event applies fn(i/steps), so frac runs 0..1 inclusive. Use
+// it for gradual changes (bandwidth drains, latency creep).
+func (s *Schedule) Ramp(start sim.Time, dur sim.Duration, steps int, fn func(frac float64) Action) *Schedule {
+	if steps < 1 {
+		steps = 1
+	}
+	for i := 0; i <= steps; i++ {
+		frac := float64(i) / float64(steps)
+		s.At(start+sim.Duration(float64(dur)*frac), fn(frac))
+	}
+	return s
+}
+
+// RampBandwidth linearly ramps the link's capacity from fromKbps to
+// toKbps over [start, start+dur] in the given number of steps. Ramping
+// to 0 stops at the last positive step (zero capacity is ignored by
+// SetBandwidth); schedule a FailLink to cut the link entirely.
+func (s *Schedule) RampBandwidth(link int, start sim.Time, dur sim.Duration, steps int, fromKbps, toKbps float64) *Schedule {
+	return s.Ramp(start, dur, steps, func(frac float64) Action {
+		return SetBandwidth(link, fromKbps+(toKbps-fromKbps)*frac)
+	})
+}
+
+// Oscillate alternates between action a (applied at start and every
+// full period after) and action b (applied half a period later), for
+// the given number of cycles. Use it for flapping links or oscillating
+// bottlenecks:
+//
+//	s.Oscillate(60*sim.Second, 20*sim.Second, 5,
+//	    scenario.SetBandwidth(lid, 500), scenario.SetBandwidth(lid, 4000))
+func (s *Schedule) Oscillate(start sim.Time, period sim.Duration, cycles int, a, b Action) *Schedule {
+	for c := 0; c < cycles; c++ {
+		t := start + sim.Duration(c)*period
+		s.At(t, a)
+		s.At(t+period/2, b)
+	}
+	return s
+}
+
+// Install schedules every event on the environment's engine. Events
+// fire in (time, insertion order); an event scheduled in the past runs
+// at the current instant. Install may be called once per schedule per
+// run; installing the same schedule into several independent worlds
+// (e.g. a Bullet run and a baseline run over identical topologies) is
+// the intended way to compare protocols under identical dynamics.
+func (s *Schedule) Install(env *Env) {
+	evs := append([]event(nil), s.events...)
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].at != evs[j].at {
+			return evs[i].at < evs[j].at
+		}
+		return evs[i].seq < evs[j].seq
+	})
+	for i := range evs {
+		ev := evs[i]
+		env.Eng.Schedule(ev.at, func() {
+			for _, a := range ev.actions {
+				a(env)
+			}
+		})
+	}
+}

@@ -1,0 +1,125 @@
+package scenario
+
+import (
+	"testing"
+
+	"bullet/internal/sim"
+	"bullet/internal/topology"
+)
+
+func testEnv(t *testing.T) (*Env, int) {
+	t.Helper()
+	b := topology.NewBuilder()
+	a := b.AddNode(topology.Stub, 0, 0)
+	c := b.AddNode(topology.Stub, 1, 0)
+	lid := b.AddLink(a, c, topology.StubStub, 1000, sim.Millisecond, 0)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Env{Eng: sim.NewEngine(1), G: g}, lid
+}
+
+func TestScheduleFiresInTimeOrder(t *testing.T) {
+	env, lid := testEnv(t)
+	var order []string
+	s := New().
+		At(20*sim.Second, Func(func(*Env) { order = append(order, "b") })).
+		At(10*sim.Second, FailLink(lid), Func(func(*Env) { order = append(order, "a") })).
+		At(20*sim.Second, Func(func(*Env) { order = append(order, "c") })).
+		At(30*sim.Second, RestoreLink(lid), Func(func(*Env) { order = append(order, "d") }))
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", s.Len())
+	}
+	s.Install(env)
+
+	env.Eng.Run(15 * sim.Second)
+	if !env.G.Links[lid].Down {
+		t.Fatal("link not down after the 10s event")
+	}
+	env.Eng.Run(40 * sim.Second)
+	if env.G.Links[lid].Down {
+		t.Fatal("link still down after the 30s event")
+	}
+	// Same-instant events (b, c) fire in insertion order.
+	want := "abcd"
+	got := ""
+	for _, o := range order {
+		got += o
+	}
+	if got != want {
+		t.Errorf("event order %q, want %q", got, want)
+	}
+}
+
+func TestRampBandwidth(t *testing.T) {
+	env, lid := testEnv(t)
+	var samples []float64
+	s := New().RampBandwidth(lid, 10*sim.Second, 10*sim.Second, 4, 4000, 2000)
+	// Sample the capacity just after each ramp step.
+	for i := 0; i <= 4; i++ {
+		at := 10*sim.Second + sim.Duration(i)*2500*sim.Millisecond + sim.Millisecond
+		s.At(at, Func(func(env *Env) { samples = append(samples, env.G.Links[lid].Kbps()) }))
+	}
+	s.Install(env)
+	env.Eng.Run(25 * sim.Second)
+
+	want := []float64{4000, 3500, 3000, 2500, 2000}
+	if len(samples) != len(want) {
+		t.Fatalf("got %d samples, want %d", len(samples), len(want))
+	}
+	for i, w := range want {
+		if samples[i] != w {
+			t.Errorf("step %d: %g Kbps, want %g", i, samples[i], w)
+		}
+	}
+}
+
+func TestOscillate(t *testing.T) {
+	env, lid := testEnv(t)
+	var states []bool
+	s := New().Oscillate(10*sim.Second, 10*sim.Second, 3, FailLink(lid), RestoreLink(lid))
+	for i := 0; i < 6; i++ {
+		at := 10*sim.Second + sim.Duration(i)*5*sim.Second + sim.Second
+		s.At(at, Func(func(env *Env) { states = append(states, env.G.Links[lid].Down) }))
+	}
+	s.Install(env)
+	env.Eng.Run(60 * sim.Second)
+
+	want := []bool{true, false, true, false, true, false}
+	if len(states) != len(want) {
+		t.Fatalf("got %d states, want %d", len(states), len(want))
+	}
+	for i, w := range want {
+		if states[i] != w {
+			t.Errorf("half-period %d: down=%v, want %v", i, states[i], w)
+		}
+	}
+}
+
+func TestEmptyScheduleInstallsNothing(t *testing.T) {
+	env, _ := testEnv(t)
+	New().Install(env)
+	if p := env.Eng.Pending(); p != 0 {
+		t.Fatalf("empty schedule queued %d events", p)
+	}
+}
+
+// Installing the same schedule into two independent worlds applies
+// identical mutations to each: the intended pattern for comparing
+// protocols under the same dynamics.
+func TestInstallIntoTwoWorlds(t *testing.T) {
+	env1, lid := testEnv(t)
+	env2, _ := testEnv(t)
+	s := New().At(5*sim.Second, FailLink(lid), SetLoss(lid, 0.5))
+	s.Install(env1)
+	s.Install(env2)
+	env1.Eng.Run(10 * sim.Second)
+	env2.Eng.Run(10 * sim.Second)
+	for i, env := range []*Env{env1, env2} {
+		l := &env.G.Links[lid]
+		if !l.Down || l.Loss != 0.5 {
+			t.Errorf("world %d: down=%v loss=%g, want true/0.5", i+1, l.Down, l.Loss)
+		}
+	}
+}

@@ -7,10 +7,11 @@ import (
 	"bullet/internal/sim"
 )
 
-// Router answers fixed shortest-path routing queries over a Graph,
-// modeling IP unicast routing (assumption 1 of §4.1: the routing path
-// between any two overlay participants is fixed). Paths are shortest by
-// propagation delay.
+// Router answers shortest-path routing queries over a Graph, modeling
+// IP unicast routing (assumption 1 of §4.1: the routing path between
+// two overlay participants is fixed as long as the underlying network
+// is static). Paths are shortest by propagation delay; failed (Down)
+// links are never used.
 //
 // All caches are flat slices indexed by node id, never maps: shortest-
 // path trees are computed lazily per source, and the materialized
@@ -21,10 +22,19 @@ import (
 // destinations — the only destinations traffic is addressed to — so
 // the cache is participants-wide, not topology-wide; queries to other
 // destinations still work but materialize per call.
+//
+// Caches are epoch-versioned: every query compares the router's epoch
+// against the graph's route epoch (advanced by runtime mutations such
+// as FailLink or SetLatency) and drops all shortest-path trees when it
+// moved, so routes re-converge instantly — modeling an idealized
+// routing protocol with zero convergence delay. On a static graph the
+// check costs two loads and the behavior is identical to a fully
+// memoized router.
 type Router struct {
 	g         *Graph
 	trees     []*spTree // indexed by source node id; nil until first query
 	clientIdx []int32   // node id -> index into g.Clients, or -1
+	epoch     uint64    // graph route epoch the trees were built at
 }
 
 type spTree struct {
@@ -67,7 +77,19 @@ func (q *pq) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q =
 
 const unreachable = int64(-1)
 
+// ensureEpoch invalidates every cached tree when the graph's route
+// epoch has advanced since they were built.
+func (r *Router) ensureEpoch() {
+	if e := r.g.epoch; e != r.epoch {
+		for i := range r.trees {
+			r.trees[i] = nil
+		}
+		r.epoch = e
+	}
+}
+
 func (r *Router) tree(src int) *spTree {
+	r.ensureEpoch()
 	if t := r.trees[src]; t != nil {
 		return t
 	}
@@ -92,6 +114,9 @@ func (r *Router) tree(src int) *spTree {
 		}
 		for _, he := range r.g.adj[it.node] {
 			l := &r.g.Links[he.link]
+			if l.Down {
+				continue
+			}
 			nd := it.dist + int64(l.Delay)
 			if t.dist[he.to] == unreachable || nd < t.dist[he.to] {
 				t.dist[he.to] = nd

@@ -169,7 +169,8 @@ type Node struct {
 // Link is an undirected physical link. Bandwidth is in bytes/second
 // (full-duplex: each direction has the full capacity, matching ModelNet
 // pipes). Loss is an independent per-packet drop probability per
-// traversal.
+// traversal. Down marks a failed link: routing ignores it and the
+// emulator drops any packet that tries to traverse it.
 type Link struct {
 	ID       int
 	A, B     int
@@ -178,6 +179,7 @@ type Link struct {
 	Delay    sim.Duration
 	Loss     float64
 	Overload bool
+	Down     bool
 }
 
 // Kbps returns the link capacity in Kbps.
@@ -188,12 +190,20 @@ type halfEdge struct {
 	link int32
 }
 
-// Graph is an immutable generated topology.
+// Graph is a generated topology. The node/link structure is fixed after
+// generation, but per-link state (bandwidth, latency, loss, up/down) is
+// mutable at runtime through the Set*/Fail*/Partition methods below, so
+// scenarios can change network conditions mid-run. Every mutation that
+// can alter shortest-path routes advances the route epoch; consumers
+// (Router, netem) compare epochs to invalidate their caches lazily.
 type Graph struct {
 	Nodes   []Node
 	Links   []Link
 	Clients []int // IDs of client nodes, the overlay attachment points
 	adj     [][]halfEdge
+
+	epoch        uint64  // route epoch; bumped by route-affecting mutations
+	partitionCut []int32 // links failed by Partition, restored by Heal
 }
 
 // Config controls generation. Zero fields are filled with defaults by
@@ -451,4 +461,158 @@ func (g *Graph) LinkClassCounts() map[LinkClass]int {
 		m[g.Links[i].Class]++
 	}
 	return m
+}
+
+// ---------------------------------------------------------------------
+// Runtime network dynamics.
+//
+// The methods below mutate per-link state mid-run. Mutations that can
+// change shortest-path routes (latency, link up/down) advance the route
+// epoch so Router and netem caches invalidate lazily; bandwidth and
+// loss changes take effect immediately because the emulator reads link
+// state live on every traversal.
+// ---------------------------------------------------------------------
+
+// Epoch returns the current route epoch. It advances whenever a
+// mutation may have changed shortest-path routes.
+func (g *Graph) Epoch() uint64 { return g.epoch }
+
+// FindLink returns the ID of a link between nodes a and b, or -1 if no
+// such link exists. If parallel links exist, the lowest ID wins.
+func (g *Graph) FindLink(a, b int) int {
+	best := -1
+	for _, he := range g.adj[a] {
+		if int(he.to) == b && (best < 0 || int(he.link) < best) {
+			best = int(he.link)
+		}
+	}
+	return best
+}
+
+// AccessLink returns the ID of the single link attaching a degree-one
+// node (typically a client) to the rest of the network, or -1 if the
+// node's degree is not one.
+func (g *Graph) AccessLink(node int) int {
+	if len(g.adj[node]) != 1 {
+		return -1
+	}
+	return int(g.adj[node][0].link)
+}
+
+// SetBandwidth changes the capacity of link id to kbps (per direction).
+// It takes effect for packets serialized after the call. kbps <= 0 is
+// ignored (zero capacity would make serialization time infinite); to
+// take a link out of service, use FailLink.
+func (g *Graph) SetBandwidth(id int, kbps float64) {
+	if kbps <= 0 {
+		return
+	}
+	g.Links[id].Bytes = kbps * 1000 / 8
+}
+
+// ScaleBandwidth multiplies the capacity of link id by factor.
+// factor <= 0 is ignored, like SetBandwidth's zero guard.
+func (g *Graph) ScaleBandwidth(id int, factor float64) {
+	if factor <= 0 {
+		return
+	}
+	g.Links[id].Bytes *= factor
+}
+
+// SetLatency changes the propagation delay of link id. Routing is
+// shortest-by-delay, so this advances the route epoch.
+func (g *Graph) SetLatency(id int, d sim.Duration) {
+	if d < 0 || g.Links[id].Delay == d {
+		return
+	}
+	g.Links[id].Delay = d
+	g.epoch++
+}
+
+// SetLoss changes the per-traversal random loss probability of link id.
+func (g *Graph) SetLoss(id int, loss float64) {
+	if loss < 0 {
+		loss = 0
+	}
+	if loss > 1 {
+		loss = 1
+	}
+	g.Links[id].Loss = loss
+}
+
+// dropFromCut removes every occurrence of link id from the partition
+// cut set, so Heal will no longer touch it. Explicit FailLink and
+// RestoreLink calls both claim the link's fate away from Heal; an entry
+// therefore exists only while its link is down because of Partition.
+func (g *Graph) dropFromCut(id int) {
+	out := g.partitionCut[:0]
+	for _, c := range g.partitionCut {
+		if int(c) != id {
+			out = append(out, c)
+		}
+	}
+	g.partitionCut = out
+}
+
+// FailLink takes link id down: routing stops using it and the emulator
+// drops packets attempting to traverse it. Idempotent. An explicit
+// failure always survives Heal, even if a Partition had already cut the
+// same link.
+func (g *Graph) FailLink(id int) {
+	g.dropFromCut(id)
+	if g.Links[id].Down {
+		return
+	}
+	g.Links[id].Down = true
+	g.epoch++
+}
+
+// RestoreLink brings a failed link back up, whether it went down via
+// FailLink or Partition. Idempotent.
+func (g *Graph) RestoreLink(id int) {
+	g.dropFromCut(id)
+	if !g.Links[id].Down {
+		return
+	}
+	g.Links[id].Down = false
+	g.epoch++
+}
+
+// Partition fails every up link with exactly one endpoint in the node
+// set, cutting the set off from the rest of the network. The cut links
+// are remembered so Heal can restore them (links that were already down
+// are left alone). It returns the number of links cut. Repeated calls
+// accumulate into the same cut set.
+func (g *Graph) Partition(nodes []int) int {
+	in := make(map[int]bool, len(nodes))
+	for _, n := range nodes {
+		in[n] = true
+	}
+	cut := 0
+	for i := range g.Links {
+		l := &g.Links[i]
+		if l.Down || in[l.A] == in[l.B] {
+			continue
+		}
+		l.Down = true
+		g.partitionCut = append(g.partitionCut, int32(i))
+		cut++
+	}
+	if cut > 0 {
+		g.epoch++
+	}
+	return cut
+}
+
+// Heal restores every link failed by Partition and clears the cut set.
+// Links failed independently via FailLink stay down.
+func (g *Graph) Heal() {
+	if len(g.partitionCut) == 0 {
+		return
+	}
+	for _, id := range g.partitionCut {
+		g.Links[id].Down = false
+	}
+	g.partitionCut = g.partitionCut[:0]
+	g.epoch++
 }
