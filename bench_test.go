@@ -139,6 +139,15 @@ func BenchmarkDynFlashCrowd(b *testing.B) {
 	})
 }
 
+func BenchmarkChurnCrash(b *testing.B) {
+	benchExperiment(b, "churn-crash25", func(b *testing.B, r *bullet.ExperimentResult) {
+		b.ReportMetric(r.Summary["bullet_orphan_recovery_ratio"], "bullet_orphan_recovery")
+		b.ReportMetric(r.Summary["stream_orphan_after_kbps"], "stream_orphan_kbps")
+		b.ReportMetric(r.Summary["bullet_overall_kbps"], "bullet_kbps")
+		b.ReportMetric(r.Summary["stream_overall_kbps"], "stream_kbps")
+	})
+}
+
 func BenchmarkOvercast(b *testing.B) {
 	benchExperiment(b, "overcast", func(b *testing.B, r *bullet.ExperimentResult) {
 		b.ReportMetric(r.Summary["overcast_to_offline_ratio"], "ratio")

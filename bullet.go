@@ -15,19 +15,23 @@
 // (the stand-in for the paper's ModelNet testbed), so a run is a pure
 // function of its configuration and seed.
 //
-// The quickest start:
+// The quickest start — any protocol deploys the same way, by name or
+// by constructing its Protocol struct:
 //
 //	w, _ := bullet.NewWorld(bullet.WorldConfig{TotalNodes: 1500, Clients: 40, Seed: 1})
 //	tree, _ := w.RandomTree(5)
 //	cfg := bullet.DefaultConfig(600) // 600 Kbps stream
 //	cfg.Duration = 120 * bullet.Second
-//	sys, col, _ := w.DeployBullet(tree, cfg)
+//	d, _ := w.Deploy(bullet.BulletProtocol{Config: cfg}, tree)
 //	w.Run(150 * bullet.Second)
-//	fmt.Println(col.MeanOver(60*bullet.Second, 150*bullet.Second, bullet.Useful), "Kbps")
-//	_ = sys
+//	fmt.Println(d.Collector().MeanOver(60*bullet.Second, 150*bullet.Second, bullet.Useful), "Kbps")
 //
-// See examples/ for runnable programs and cmd/bullet-sim for the
-// harness that regenerates every table and figure of the paper.
+// The Deployment handle supports runtime membership churn —
+// d.Crash(node), d.Restart(node), d.Join(node) — which also composes
+// with link dynamics through scenarios (CrashNode, RestartNode,
+// JoinNode, ChurnNodes actions). See examples/ for runnable programs
+// and cmd/bullet-sim for the harness that regenerates every table and
+// figure of the paper.
 package bullet
 
 import (
@@ -153,6 +157,10 @@ type World struct {
 	g   *topology.Graph
 	rt  *topology.Router
 	net *netem.Network
+
+	// deployments tracks every Deployment created through Deploy, so
+	// scenario membership actions reach them (see World.Crash).
+	deployments []Deployment
 }
 
 // NewWorld generates a topology and wraps it in a fresh emulator.
@@ -199,17 +207,21 @@ func (w *World) Run(until Time) { w.eng.Run(until) }
 // At schedules fn at virtual time t (e.g. to inject a failure).
 func (w *World) At(t Time, fn func()) { w.eng.At(t, fn) }
 
-// Scenario installs a schedule of timed network events (link failures,
-// bandwidth shifts, partitions, ramps, oscillations) into this world.
-// Events fire deterministically at their scheduled virtual times during
-// Run. An empty scenario leaves the run byte-identical to one without.
+// Scenario installs a schedule of timed network and membership events
+// (link failures, bandwidth shifts, partitions, ramps, oscillations,
+// node crashes/restarts/joins) into this world. Events fire
+// deterministically at their scheduled virtual times during Run; an
+// empty scenario leaves the run byte-identical to one without.
+// Membership actions act on the deployments created through Deploy
+// before the event fires.
 //
 //	s := bullet.NewScenario().
 //	    At(30*bullet.Second, bullet.FailLink(lid)).
+//	    At(45*bullet.Second, bullet.CrashNode(victim)).
 //	    At(60*bullet.Second, bullet.RestoreLink(lid))
 //	w.Scenario(s)
 func (w *World) Scenario(s *Scenario) {
-	s.Install(&scenario.Env{Eng: w.eng, G: w.g})
+	s.Install(&scenario.Env{Eng: w.eng, G: w.g, M: w})
 }
 
 // NewScenario returns an empty scenario schedule. Populate it with At,
@@ -245,6 +257,22 @@ func PartitionNodes(nodes ...int) ScenarioAction { return scenario.Partition(nod
 // HealPartition restores every link failed by PartitionNodes.
 func HealPartition() ScenarioAction { return scenario.Heal() }
 
+// CrashNode crashes an overlay participant in every deployment of the
+// world the scenario is installed into. Recovery is protocol-defined:
+// Bullet re-parents the orphans and re-installs Bloom filters at live
+// peers; the plain streamer's orphaned subtree starves.
+func CrashNode(node int) ScenarioAction { return scenario.CrashNode(node) }
+
+// RestartNode brings a crashed participant back.
+func RestartNode(node int) ScenarioAction { return scenario.RestartNode(node) }
+
+// JoinNode admits a brand-new participant mid-run.
+func JoinNode(node int) ScenarioAction { return scenario.JoinNode(node) }
+
+// ChurnNodes crashes the whole node set at one instant — the
+// mass-failure workload.
+func ChurnNodes(nodes ...int) ScenarioAction { return scenario.ChurnNodes(nodes...) }
+
 // RandomTree builds a random degree-bounded tree over the participants
 // rooted at the first participant.
 func (w *World) RandomTree(maxDegree int) (*Tree, error) {
@@ -265,40 +293,58 @@ func (w *World) OvercastTree(maxDegree int) (*Tree, error) {
 
 // DeployBullet instantiates Bullet over the tree and returns the
 // system and its metrics collector.
+//
+// Deprecated: use Deploy with a BulletProtocol, which returns a
+// Deployment handle supporting runtime membership churn:
+//
+//	d, err := w.Deploy(bullet.BulletProtocol{Config: cfg}, tree)
 func (w *World) DeployBullet(tree *Tree, cfg Config) (*System, *Collector, error) {
-	col := metrics.NewCollector(sim.Second)
-	sys, err := core.Deploy(w.net, tree, cfg, col)
+	d, err := w.Deploy(BulletProtocol{Config: cfg}, tree)
 	if err != nil {
 		return nil, nil, err
 	}
-	return sys, col, nil
+	dep := d.(*deployment)
+	return dep.sys.(*core.System), dep.col, nil
 }
 
 // DeployStreamer instantiates the plain tree-streaming baseline.
+//
+// Deprecated: use Deploy with a StreamerProtocol:
+//
+//	d, err := w.Deploy(bullet.StreamerProtocol{Config: cfg}, tree)
 func (w *World) DeployStreamer(tree *Tree, cfg StreamConfig) (*Collector, error) {
-	col := metrics.NewCollector(sim.Second)
-	if _, err := streamer.Deploy(w.net, tree, cfg, col); err != nil {
+	d, err := w.Deploy(StreamerProtocol{Config: cfg}, tree)
+	if err != nil {
 		return nil, err
 	}
-	return col, nil
+	return d.Collector(), nil
 }
 
 // DeployGossip instantiates the push-gossip baseline.
+//
+// Deprecated: use Deploy with a GossipProtocol (nil tree: gossip needs
+// none):
+//
+//	d, err := w.Deploy(bullet.GossipProtocol{Config: cfg}, nil)
 func (w *World) DeployGossip(cfg GossipConfig) (*Collector, error) {
-	col := metrics.NewCollector(sim.Second)
-	if _, err := epidemic.DeployGossip(w.net, w.g.Clients, w.g.Clients[0], cfg, col); err != nil {
+	d, err := w.Deploy(GossipProtocol{Config: cfg}, nil)
+	if err != nil {
 		return nil, err
 	}
-	return col, nil
+	return d.Collector(), nil
 }
 
 // DeployAntiEntropy instantiates streaming + anti-entropy recovery.
+//
+// Deprecated: use Deploy with an AntiEntropyProtocol:
+//
+//	d, err := w.Deploy(bullet.AntiEntropyProtocol{Config: cfg}, tree)
 func (w *World) DeployAntiEntropy(tree *Tree, cfg AntiEntropyConfig) (*Collector, error) {
-	col := metrics.NewCollector(sim.Second)
-	if _, err := epidemic.DeployAntiEntropy(w.net, tree, cfg, col); err != nil {
+	d, err := w.Deploy(AntiEntropyProtocol{Config: cfg}, tree)
+	if err != nil {
 		return nil, err
 	}
-	return col, nil
+	return d.Collector(), nil
 }
 
 // RunExperiment executes one of the paper's table/figure reproductions
@@ -306,7 +352,7 @@ func (w *World) DeployAntiEntropy(tree *Tree, cfg AntiEntropyConfig) (*Collector
 func RunExperiment(id string, scale ExperimentScale, seed int64) (*ExperimentResult, error) {
 	runner, ok := experiments.Registry[id]
 	if !ok {
-		return nil, &UnknownExperimentError{ID: id}
+		return nil, &UnknownExperimentError{ID: id, Suggestion: experiments.Suggest(id)}
 	}
 	return runner(scale, seed)
 }
@@ -322,9 +368,9 @@ func RunExperiments(runs []ExperimentRun, workers int) []ExperimentRunResult {
 // Experiments lists the available experiment ids.
 func Experiments() []string { return experiments.Names() }
 
-// UnknownExperimentError reports an unrecognized experiment id.
-type UnknownExperimentError struct{ ID string }
-
-func (e *UnknownExperimentError) Error() string {
-	return "bullet: unknown experiment " + e.ID
-}
+// UnknownExperimentError reports an unrecognized experiment id, with a
+// did-you-mean Suggestion (the nearest registered id by edit distance)
+// when one is plausibly close. It aliases the internal experiments
+// error type so RunExperiment and RunExperiments surface the identical
+// type — errors.As works the same against either entry point.
+type UnknownExperimentError = experiments.UnknownExperimentError

@@ -1,6 +1,7 @@
 package bullet_test
 
 import (
+	"strings"
 	"testing"
 
 	"bullet"
@@ -53,23 +54,33 @@ func TestRunExperimentUnknown(t *testing.T) {
 	if err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
-	if _, ok := err.(*bullet.UnknownExperimentError); !ok {
+	ue, ok := err.(*bullet.UnknownExperimentError)
+	if !ok {
 		t.Fatalf("wrong error type %T", err)
+	}
+	if ue.Suggestion != "fig9" {
+		t.Errorf("suggestion %q, want fig9", ue.Suggestion)
+	}
+	if !strings.Contains(err.Error(), `did you mean "fig9"?`) {
+		t.Errorf("error %q missing did-you-mean", err.Error())
 	}
 }
 
 func TestExperimentsListed(t *testing.T) {
 	ids := bullet.Experiments()
-	if len(ids) != 16 {
-		t.Fatalf("%d experiments, want 16", len(ids))
+	if len(ids) != 20 {
+		t.Fatalf("%d experiments, want 20", len(ids))
 	}
 	listed := make(map[string]bool, len(ids))
 	for _, id := range ids {
 		listed[id] = true
 	}
-	for _, id := range []string{"dyn-bottleneck", "dyn-partition", "dyn-flashcrowd", "dyn-oscillate"} {
+	for _, id := range []string{
+		"dyn-bottleneck", "dyn-partition", "dyn-flashcrowd", "dyn-oscillate",
+		"churn-crash25", "churn-crashheal", "churn-rolling", "churn-join",
+	} {
 		if !listed[id] {
-			t.Errorf("dynamic experiment %q not listed", id)
+			t.Errorf("experiment %q not listed", id)
 		}
 	}
 }

@@ -85,6 +85,43 @@ func TestUnknownIDEmitsCompletedResultsThenFails(t *testing.T) {
 	}
 }
 
+// A near-miss experiment id surfaces a did-you-mean suggestion on
+// stderr (nearest registered id by edit distance).
+func TestUnknownIDSuggestsNearest(t *testing.T) {
+	code, _, errb := runCLI(t, "-q", "-experiment", "fig99")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errb, `did you mean "fig9"?`) {
+		t.Errorf("stderr %q missing did-you-mean suggestion", errb)
+	}
+	// Far-off ids get no misleading guess.
+	code, _, errb = runCLI(t, "-q", "-experiment", "zzzzzzzzzzzz")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if strings.Contains(errb, "did you mean") {
+		t.Errorf("stderr %q suggests a far-off id", errb)
+	}
+}
+
+// -list prints each registered experiment id on its own line, sorted.
+func TestListPrintsOnePerLine(t *testing.T) {
+	code, out, _ := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 20 {
+		t.Fatalf("%d lines, want 20 (one per experiment)", len(lines))
+	}
+	for i := 1; i < len(lines); i++ {
+		if lines[i-1] >= lines[i] {
+			t.Fatalf("ids not sorted: %q >= %q", lines[i-1], lines[i])
+		}
+	}
+}
+
 // -parallel does not change the output bytes.
 func TestParallelOutputMatchesSerial(t *testing.T) {
 	if testing.Short() {

@@ -1,7 +1,7 @@
 // Quickstart: deploy Bullet on a random tree over a generated
-// transit-stub topology, stream 600 Kbps for two minutes, and compare
-// the mesh's delivered bandwidth against plain tree streaming on the
-// same tree.
+// transit-stub topology through the Protocol/Deployment API, stream
+// 600 Kbps for two minutes, and compare the mesh's delivered bandwidth
+// against plain tree streaming on the same tree.
 //
 //	go run ./examples/quickstart
 package main
@@ -19,7 +19,9 @@ func main() {
 		seed     = 42
 	)
 
-	// Bullet over a random tree.
+	// Bullet over a random tree. Any protocol deploys the same way:
+	// construct its Protocol struct (or resolve a default-configured one
+	// with bullet.ProtocolByName) and pass it to World.Deploy.
 	w, err := bullet.NewWorld(bullet.WorldConfig{
 		TotalNodes: 1500,
 		Clients:    40,
@@ -37,7 +39,7 @@ func main() {
 	cfg.Start = 20 * bullet.Second
 	cfg.Duration = 120 * bullet.Second
 	cfg.MaxSenders, cfg.MaxReceivers = 4, 4 // mesh degree for a 40-node overlay
-	sys, meshCol, err := w.DeployBullet(tree, cfg)
+	mesh, err := w.Deploy(bullet.BulletProtocol{Config: cfg}, tree)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,10 +57,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	treeCol, err := w2.DeployStreamer(tree2, bullet.StreamConfig{
+	plainDep, err := w2.Deploy(bullet.StreamerProtocol{Config: bullet.StreamConfig{
 		RateKbps: rateKbps, PacketSize: 1500,
 		Start: 20 * bullet.Second, Duration: 120 * bullet.Second,
-	})
+	}}, tree2)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,11 +69,10 @@ func main() {
 	steady := func(c *bullet.Collector) float64 {
 		return c.MeanOver(80*bullet.Second, 150*bullet.Second, bullet.Useful)
 	}
-	mesh, plain := steady(meshCol), steady(treeCol)
+	meshKbps, plainKbps := steady(mesh.Collector()), steady(plainDep.Collector())
 	fmt.Printf("target stream rate:          %d Kbps\n", rateKbps)
-	fmt.Printf("plain streaming (same tree): %6.0f Kbps mean per node\n", plain)
-	fmt.Printf("Bullet mesh:                 %6.0f Kbps mean per node (%.1fx)\n", mesh, mesh/plain)
-	fmt.Printf("duplicate ratio:             %6.1f %%\n", meshCol.DuplicateRatio()*100)
-	fmt.Printf("control overhead:            %6.1f Kbps per node\n", sys.ControlOverheadKbps())
-	fmt.Printf("mean senders per node:       %6.1f\n", sys.MeanSenders())
+	fmt.Printf("plain streaming (same tree): %6.0f Kbps mean per node\n", plainKbps)
+	fmt.Printf("Bullet mesh:                 %6.0f Kbps mean per node (%.1fx)\n", meshKbps, meshKbps/plainKbps)
+	fmt.Printf("duplicate ratio:             %6.1f %%\n", mesh.Collector().DuplicateRatio()*100)
+	fmt.Printf("live participants:           %6d (protocol %q)\n", len(mesh.Nodes()), mesh.Protocol())
 }

@@ -150,6 +150,15 @@ type System struct {
 	col   *metrics.Collector
 	perms *sketch.Permutations
 	Nodes map[int]*Node
+
+	// Membership runtime state (see membership.go). dead marks crashed
+	// nodes whose failure may not yet be repaired; memberEpoch counts
+	// membership changes; joinDegree bounds the tree degree used when
+	// re-attaching orphans' replacements and late joiners.
+	dead        map[int]bool
+	memberEpoch int
+	joinDegree  int
+	stopped     bool
 }
 
 // Deploy instantiates Bullet on every participant of tree, wires
@@ -166,11 +175,15 @@ func Deploy(net *netem.Network, tree *overlay.Tree, cfg Config, col *metrics.Col
 		col:   col,
 		perms: sketch.NewPermutations(sketch.DefaultEntries, net.Engine().Seed()^0x6d77),
 		Nodes: make(map[int]*Node),
+		dead:  make(map[int]bool),
 	}
 	for _, id := range tree.Participants {
 		if err := sys.addNode(id); err != nil {
 			return nil, err
 		}
+	}
+	if sys.joinDegree = tree.MaxDegree(); sys.joinDegree < 2 {
+		sys.joinDegree = 2
 	}
 	// Kick off RanSub at the root, then the stream.
 	root := sys.Nodes[tree.Root]
@@ -227,10 +240,12 @@ func (sys *System) addNode(id int) error {
 	n.pumpFn = n.pumpTick
 	n.refreshFn = n.refreshTick
 	n.evalFn = n.evalTick
+	// Relative scheduling: at deploy (virtual time zero) this is
+	// identical to absolute, and it lets addNode serve late joiners.
 	jitter := sim.Duration(n.rng.Int63n(int64(sys.cfg.FilterRefresh)))
-	sys.eng.Schedule(sys.cfg.FilterRefresh+jitter, n.refreshFn)
-	sys.eng.Schedule(sys.cfg.EvalInterval+jitter, n.evalFn)
-	sys.eng.Schedule(sys.cfg.PumpInterval+jitter%sys.cfg.PumpInterval, n.pumpFn)
+	sys.eng.ScheduleAfter(sys.cfg.FilterRefresh+jitter, n.refreshFn)
+	sys.eng.ScheduleAfter(sys.cfg.EvalInterval+jitter, n.evalFn)
+	sys.eng.ScheduleAfter(sys.cfg.PumpInterval+jitter%sys.cfg.PumpInterval, n.pumpFn)
 	sys.Nodes[id] = n
 	return nil
 }
@@ -246,7 +261,7 @@ func (sys *System) scheduleSource(root *Node) {
 	var seq uint64
 	var pump func()
 	pump = func() {
-		if sys.eng.Now() >= end || root.ep.Failed() {
+		if sys.eng.Now() >= end || root.ep.Failed() || sys.stopped {
 			return
 		}
 		root.ingest(seq, sys.cfg.PacketSize)
@@ -501,6 +516,9 @@ func (n *Node) maybeRequestPeer() {
 	for _, e := range n.lastSet {
 		if e.Node == n.id || e.Node == n.parent {
 			continue
+		}
+		if n.sys.dead[e.Node] {
+			continue // skip peers known to have crashed
 		}
 		if _, dup := n.senders[e.Node]; dup {
 			continue

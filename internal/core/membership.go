@@ -1,0 +1,266 @@
+package core
+
+// Membership runtime for Bullet: crash, restart, and join of overlay
+// participants while the stream runs. This is the mechanism behind the
+// paper's node-failure evaluation — RanSub waves skip dead peers, the
+// distribution tree deterministically re-parents orphans one level up,
+// and receivers re-install their Bloom filters at live peers once a
+// crashed sender is detected.
+//
+// Every operation is deterministic: repairs run at fixed virtual-time
+// offsets from the crash, iterate nodes in sorted id order, and draw no
+// randomness, so a churn run remains a pure function of
+// (config, seed, schedule).
+
+import (
+	"fmt"
+
+	"bullet/internal/bloom"
+	"bullet/internal/member"
+	"bullet/internal/sim"
+)
+
+// FailoverDelay is how long after a crash the failure is considered
+// detected: tree surgery and mesh peer teardown run this much virtual
+// time after Crash. It models the paper's detection latency (RanSub
+// epoch timeouts, TFRC feedback silence) as a fixed constant.
+const FailoverDelay = 2 * sim.Second
+
+// MemberEpoch returns the number of membership changes (crashes,
+// restarts, joins) applied so far.
+func (sys *System) MemberEpoch() int { return sys.memberEpoch }
+
+// Live reports whether id is a current, non-crashed participant.
+func (sys *System) Live(id int) bool {
+	_, ok := sys.Nodes[id]
+	return ok && !sys.dead[id] && sys.tree.Contains(id)
+}
+
+// LiveNodes returns the ids of current non-crashed participants in
+// sorted order.
+func (sys *System) LiveNodes() []int {
+	ids := sys.nodeIDs()
+	out := ids[:0]
+	for _, id := range ids {
+		if sys.Live(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Crash fails node id mid-run: its endpoint goes down immediately and,
+// FailoverDelay later, the failure is detected — the tree re-parents
+// its orphaned children to the nearest live ancestor and every live
+// node tears down mesh state involving it. The source (tree root)
+// cannot crash.
+func (sys *System) Crash(id int) error {
+	n, ok := sys.Nodes[id]
+	if !ok {
+		return fmt.Errorf("core: node %d is not a participant", id)
+	}
+	if sys.dead[id] {
+		return fmt.Errorf("core: node %d already crashed", id)
+	}
+	if id == sys.tree.Root {
+		return fmt.Errorf("core: cannot crash the source (tree root %d)", id)
+	}
+	n.ep.Fail()
+	sys.dead[id] = true
+	sys.memberEpoch++
+	// The detection callback belongs to *this* crash: if the node was
+	// restarted (fresh *Node in sys.Nodes) and crashed again before
+	// this timer fires, the newer crash's own callback owns the repair
+	// — firing here early would violate the fixed detection delay.
+	sys.eng.ScheduleAfter(FailoverDelay, func() {
+		if sys.dead[id] && sys.Nodes[id] == n {
+			sys.repair(id)
+		}
+	})
+	return nil
+}
+
+// repair performs failure detection's aftermath for a crashed node:
+// deterministic orphan re-parenting plus mesh teardown at every live
+// node. Called once per crash (or synchronously by Restart when the
+// node comes back before detection fires).
+func (sys *System) repair(id int) {
+	if !sys.tree.Contains(id) {
+		return
+	}
+	p, _ := sys.tree.Parent(id)
+	promoted, err := sys.tree.ReparentChildren(id)
+	if err != nil {
+		return // root: unreachable, Crash refuses it
+	}
+	parentLive := !sys.dead[p]
+	if pn, ok := sys.Nodes[p]; ok && parentLive {
+		pn.removeChild(id)
+	}
+	for _, c := range promoted {
+		cn, ok := sys.Nodes[c]
+		if !ok {
+			continue
+		}
+		cn.parent = p
+		cn.agent.SetParent(p)
+		if sys.dead[c] {
+			// The orphan itself is dead: its own repair will promote
+			// its subtree again, so don't wire flows to it.
+			continue
+		}
+		if pn, ok := sys.Nodes[p]; ok && parentLive {
+			pn.addChild(c)
+		}
+	}
+	// Every live node drops the dead peer from its mesh and re-installs
+	// Bloom filters at the survivors. Sorted order: map iteration must
+	// never leak into the simulation.
+	for _, nid := range sys.nodeIDs() {
+		if nid == id || sys.dead[nid] {
+			continue
+		}
+		sys.Nodes[nid].dropDeadPeer(id)
+	}
+}
+
+// nodeIDs returns all participant ids (live and dead) sorted.
+func (sys *System) nodeIDs() []int { return member.SortedIDs(sys.Nodes) }
+
+// Restart brings a crashed node back as a fresh participant: empty
+// working set, new endpoint, re-attached at the deterministic join
+// point. If the crash had not been detected yet the repair runs first,
+// so the stale tree position is cleaned up before the rejoin.
+func (sys *System) Restart(id int) error {
+	if !sys.dead[id] {
+		return fmt.Errorf("core: node %d is not crashed", id)
+	}
+	if sys.tree.Contains(id) {
+		sys.repair(id)
+	}
+	delete(sys.dead, id)
+	if err := sys.join(id); err != nil {
+		// No live attach point right now (e.g. every neighbor is itself
+		// crashed and undetected). The node stays crashed so a later
+		// Restart can retry.
+		sys.dead[id] = true
+		return err
+	}
+	return nil
+}
+
+// Join adds a brand-new participant mid-run, attached at the
+// deterministic join point (first breadth-first live node with spare
+// degree). The id must name a topology node that is not currently a
+// live participant; a crashed node must use Restart instead.
+func (sys *System) Join(id int) error {
+	if sys.dead[id] {
+		return fmt.Errorf("core: node %d crashed; use Restart", id)
+	}
+	if sys.tree.Contains(id) {
+		return fmt.Errorf("core: node %d is already a participant", id)
+	}
+	return sys.join(id)
+}
+
+// connected reports whether n and every tree ancestor up to the root
+// is live — a join point must actually receive the stream, not merely
+// be alive inside a dead, not-yet-repaired subtree.
+func (sys *System) connected(n int) bool {
+	return sys.tree.ConnectedToRoot(n, func(x int) bool { return !sys.dead[x] })
+}
+
+func (sys *System) join(id int) error {
+	ap := sys.tree.AttachPoint(sys.joinDegree, sys.connected)
+	if ap < 0 {
+		return fmt.Errorf("core: no live attach point for node %d", id)
+	}
+	if err := sys.tree.Attach(id, ap); err != nil {
+		return err
+	}
+	if err := sys.addNode(id); err != nil {
+		return err
+	}
+	sys.Nodes[ap].addChild(id)
+	sys.memberEpoch++
+	return nil
+}
+
+// Stop tears the deployment down: the source halts and every live
+// endpoint goes offline. The world (and any other deployment in it)
+// keeps running.
+func (sys *System) Stop() {
+	if sys.stopped {
+		return
+	}
+	sys.stopped = true
+	// Quiesce the RanSub root first: its epoch/timeout timers would
+	// otherwise re-arm forever even with every endpoint down.
+	if root, ok := sys.Nodes[sys.tree.Root]; ok {
+		root.agent.Stop()
+	}
+	member.StopAll(sys.Nodes, sys.dead, func(id int) { sys.Nodes[id].ep.Fail() })
+}
+
+// Stopped reports whether Stop was called.
+func (sys *System) Stopped() bool { return sys.stopped }
+
+// ---------------------------------------------------------------------
+// Per-node wiring updates
+// ---------------------------------------------------------------------
+
+// removeChild forgets a tree child: its flow closes and the RanSub
+// agent stops waiting for its collects.
+func (n *Node) removeChild(c int) {
+	if ci, ok := n.children[c]; ok {
+		ci.flow.Close()
+		delete(n.children, c)
+		for i, x := range n.childIDs {
+			if x == c {
+				n.childIDs = append(n.childIDs[:i], n.childIDs[i+1:]...)
+				break
+			}
+		}
+	}
+	n.agent.RemoveChild(c)
+}
+
+// addChild wires a new tree child: fresh flow, default sending/limiting
+// factors (refined at the next RanSub epoch), RanSub membership.
+func (n *Node) addChild(c int) {
+	if _, ok := n.children[c]; ok {
+		return
+	}
+	f, err := n.ep.OpenFlow(c, n.sys.cfg.PacketSize)
+	if err != nil {
+		return
+	}
+	f.TraceEvery = n.sys.cfg.TraceEvery
+	n.children[c] = &childInfo{node: c, flow: f, lf: 1.0,
+		filter: bloom.NewForCapacity(4096, 0.01)}
+	n.childIDs = append(n.childIDs, c)
+	n.agent.AddChild(c)
+}
+
+// dropDeadPeer removes a crashed node from this node's mesh state:
+// senders holding our Bloom filter, receivers we were serving, and any
+// pending peering handshake. A freed sender slot triggers row
+// reassignment, a refresh to the surviving senders (the "Bloom filter
+// re-install"), and an immediate attempt to fill the slot from the
+// latest RanSub set.
+func (n *Node) dropDeadPeer(id int) {
+	if rf, ok := n.receivers[id]; ok {
+		rf.flow.Close()
+		delete(n.receivers, id)
+	}
+	if n.pending == id {
+		n.pending = -1
+	}
+	if _, ok := n.senders[id]; !ok {
+		return
+	}
+	delete(n.senders, id)
+	n.reassignRows()
+	n.sendRefreshes()
+	n.maybeRequestPeer()
+}

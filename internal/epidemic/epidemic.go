@@ -21,6 +21,7 @@ import (
 	"math/rand"
 
 	"bullet/internal/bloom"
+	"bullet/internal/member"
 	"bullet/internal/metrics"
 	"bullet/internal/netem"
 	"bullet/internal/overlay"
@@ -55,6 +56,12 @@ type GossipSystem struct {
 	cfg          GossipConfig
 	col          *metrics.Collector
 	eng          *sim.Engine
+
+	net     *netem.Network
+	source  int
+	dead    map[int]bool
+	epoch   int
+	stopped bool
 }
 
 // DeployGossip wires gossip nodes over the participant set (full
@@ -75,6 +82,9 @@ func DeployGossip(net *netem.Network, participants []int, source int, cfg Gossip
 		cfg:          cfg,
 		col:          col,
 		eng:          net.Engine(),
+		net:          net,
+		source:       source,
+		dead:         make(map[int]bool),
 	}
 	for _, id := range participants {
 		n := &gossipNode{
@@ -96,7 +106,7 @@ func DeployGossip(net *netem.Network, participants []int, source int, cfg Gossip
 	src := sys.Nodes[source]
 	var pump func()
 	pump = func() {
-		if sys.eng.Now() >= end {
+		if sys.eng.Now() >= end || sys.stopped {
 			return
 		}
 		src.seen.Add(seq)
@@ -141,6 +151,86 @@ func (sys *GossipSystem) onData(id, from int, seq uint64, size int) {
 	}
 }
 
+// Collector returns the metrics sink.
+func (sys *GossipSystem) Collector() *metrics.Collector { return sys.col }
+
+// MemberEpoch returns the number of membership changes applied so far.
+func (sys *GossipSystem) MemberEpoch() int { return sys.epoch }
+
+// Live reports whether id is a current non-crashed participant.
+func (sys *GossipSystem) Live(id int) bool {
+	_, ok := sys.Nodes[id]
+	return ok && !sys.dead[id]
+}
+
+// LiveNodes returns current non-crashed participant ids sorted.
+func (sys *GossipSystem) LiveNodes() []int { return member.LiveIDs(sys.Nodes, sys.dead) }
+
+// Crash fails node id; peers keep pushing to it (membership is static
+// gossip state) and those packets are lost. The source cannot crash.
+func (sys *GossipSystem) Crash(id int) error {
+	n, ok := sys.Nodes[id]
+	if !ok {
+		return fmt.Errorf("epidemic: node %d is not a participant", id)
+	}
+	if sys.dead[id] {
+		return fmt.Errorf("epidemic: node %d already crashed", id)
+	}
+	if id == sys.source {
+		return fmt.Errorf("epidemic: cannot crash the source %d", id)
+	}
+	n.ep.Fail()
+	sys.dead[id] = true
+	sys.epoch++
+	return nil
+}
+
+// Restart brings a crashed gossip node back; its flows reopen lazily.
+func (sys *GossipSystem) Restart(id int) error {
+	n, ok := sys.Nodes[id]
+	if !ok || !sys.dead[id] {
+		return fmt.Errorf("epidemic: node %d is not crashed", id)
+	}
+	n.ep.Restart()
+	n.flows = make(map[int]*transport.Flow) // Fail closed them; reopen lazily
+	delete(sys.dead, id)
+	sys.epoch++
+	return nil
+}
+
+// Join adds a brand-new gossip participant; every node's future random
+// peer choices may select it.
+func (sys *GossipSystem) Join(id int) error {
+	if _, ok := sys.Nodes[id]; ok {
+		if sys.dead[id] {
+			return fmt.Errorf("epidemic: node %d crashed; use Restart", id)
+		}
+		return fmt.Errorf("epidemic: node %d is already a participant", id)
+	}
+	n := &gossipNode{
+		ep:    transport.NewEndpoint(sys.net, id),
+		id:    id,
+		seen:  workset.New(),
+		flows: make(map[int]*transport.Flow),
+		rng:   sys.eng.RNG(int64(id)*31337 + 0x676f73),
+	}
+	sys.col.Track(id)
+	n.ep.OnData(func(from int, seq uint64, size int) { sys.onData(id, from, seq, size) })
+	sys.Nodes[id] = n
+	sys.participants = append(sys.participants, id)
+	sys.epoch++
+	return nil
+}
+
+// Stop tears the deployment down.
+func (sys *GossipSystem) Stop() {
+	if sys.stopped {
+		return
+	}
+	sys.stopped = true
+	member.StopAll(sys.Nodes, sys.dead, func(id int) { sys.Nodes[id].ep.Fail() })
+}
+
 // ---------------------------------------------------------------------
 
 // AntiEntropyConfig controls a streaming + anti-entropy run.
@@ -174,6 +264,12 @@ type aeNode struct {
 	flows    map[int]*transport.Flow // tree + repair flows
 	rng      *rand.Rand
 	roundFn  func() // cached aeRound closure: one alloc per node, not per epoch
+
+	// roundDead marks that the periodic round chain ended because a
+	// tick fired while the node was crashed. Restart re-arms the chain
+	// only then, so a crash/restart cycle never leaves two concurrent
+	// round loops running.
+	roundDead bool
 }
 
 // AntiEntropySystem is a deployed streaming + anti-entropy overlay.
@@ -184,6 +280,12 @@ type AntiEntropySystem struct {
 	cfg          AntiEntropyConfig
 	col          *metrics.Collector
 	eng          *sim.Engine
+
+	net        *netem.Network
+	dead       map[int]bool
+	epoch      int
+	joinDegree int
+	stopped    bool
 }
 
 // DeployAntiEntropy wires tree streaming plus random-peer anti-entropy
@@ -211,6 +313,8 @@ func DeployAntiEntropy(net *netem.Network, tree *overlay.Tree, cfg AntiEntropyCo
 		cfg:          cfg,
 		col:          col,
 		eng:          net.Engine(),
+		net:          net,
+		dead:         make(map[int]bool),
 	}
 	for _, id := range tree.Participants {
 		parent := -1
@@ -246,11 +350,14 @@ func DeployAntiEntropy(net *netem.Network, tree *overlay.Tree, cfg AntiEntropyCo
 	bytesPerSec := cfg.RateKbps * 1000 / 8
 	interval := sim.Duration(float64(cfg.PacketSize) / bytesPerSec * float64(sim.Second))
 	end := cfg.Start + cfg.Duration
+	if sys.joinDegree = tree.MaxDegree(); sys.joinDegree < 2 {
+		sys.joinDegree = 2
+	}
 	var seq uint64
 	root := sys.Nodes[tree.Root]
 	var pump func()
 	pump = func() {
-		if sys.eng.Now() >= end {
+		if sys.eng.Now() >= end || sys.stopped {
 			return
 		}
 		root.seen.Add(seq)
@@ -285,6 +392,7 @@ func (sys *AntiEntropySystem) onData(id, from int, seq uint64, size int) {
 func (sys *AntiEntropySystem) aeRound(id int) {
 	n := sys.Nodes[id]
 	if n.ep.Failed() {
+		n.roundDead = true
 		return
 	}
 	// Maintain the FIFO window.
@@ -346,4 +454,132 @@ func (sys *AntiEntropySystem) onControl(id, from int, payload any) {
 			break
 		}
 	}
+}
+
+// ---------------------------------------------------------------------
+// Anti-entropy membership runtime. Crashes orphan the subtree like the
+// plain streamer, but the epidemic repair path lets survivors (and a
+// restarted node, whose digests advertise what it kept) re-converge.
+// ---------------------------------------------------------------------
+
+// Collector returns the metrics sink.
+func (sys *AntiEntropySystem) Collector() *metrics.Collector { return sys.col }
+
+// MemberEpoch returns the number of membership changes applied so far.
+func (sys *AntiEntropySystem) MemberEpoch() int { return sys.epoch }
+
+// Live reports whether id is a current non-crashed participant.
+func (sys *AntiEntropySystem) Live(id int) bool {
+	_, ok := sys.Nodes[id]
+	return ok && !sys.dead[id]
+}
+
+// LiveNodes returns current non-crashed participant ids sorted.
+func (sys *AntiEntropySystem) LiveNodes() []int { return member.LiveIDs(sys.Nodes, sys.dead) }
+
+// Crash fails node id; its subtree stops receiving the stream but
+// survivors' anti-entropy rounds continue. The source cannot crash.
+func (sys *AntiEntropySystem) Crash(id int) error {
+	n, ok := sys.Nodes[id]
+	if !ok {
+		return fmt.Errorf("epidemic: node %d is not a participant", id)
+	}
+	if sys.dead[id] {
+		return fmt.Errorf("epidemic: node %d already crashed", id)
+	}
+	if id == sys.tree.Root {
+		return fmt.Errorf("epidemic: cannot crash the source %d", id)
+	}
+	n.ep.Fail()
+	sys.dead[id] = true
+	sys.epoch++
+	return nil
+}
+
+// Restart brings a crashed node back in place: flows to children
+// reopen, repair flows reopen lazily, and its anti-entropy rounds
+// resume (backfilling what it missed from random peers).
+func (sys *AntiEntropySystem) Restart(id int) error {
+	n, ok := sys.Nodes[id]
+	if !ok || !sys.dead[id] {
+		return fmt.Errorf("epidemic: node %d is not crashed", id)
+	}
+	n.ep.Restart()
+	n.flows = make(map[int]*transport.Flow)
+	for _, c := range n.children {
+		f, err := n.ep.OpenFlow(c, sys.cfg.PacketSize)
+		if err != nil {
+			return err
+		}
+		n.flows[c] = f
+	}
+	delete(sys.dead, id)
+	sys.epoch++
+	// Re-arm the round chain only if it actually ended while the node
+	// was down; otherwise the pre-crash timer is still pending and will
+	// resume on its own.
+	if n.roundDead {
+		n.roundDead = false
+		sys.eng.ScheduleAfter(sys.cfg.Epoch, n.roundFn)
+	}
+	return nil
+}
+
+// connected reports whether n and every tree ancestor up to the root
+// is live (see streamer.System.connected).
+func (sys *AntiEntropySystem) connected(n int) bool {
+	return sys.tree.ConnectedToRoot(n, func(x int) bool { return !sys.dead[x] })
+}
+
+// Join attaches a brand-new participant at the deterministic join point
+// and starts its anti-entropy rounds.
+func (sys *AntiEntropySystem) Join(id int) error {
+	if _, ok := sys.Nodes[id]; ok {
+		if sys.dead[id] {
+			return fmt.Errorf("epidemic: node %d crashed; use Restart", id)
+		}
+		return fmt.Errorf("epidemic: node %d is already a participant", id)
+	}
+	ap := sys.tree.AttachPoint(sys.joinDegree, sys.connected)
+	if ap < 0 {
+		return fmt.Errorf("epidemic: no live attach point for node %d", id)
+	}
+	if err := sys.tree.Attach(id, ap); err != nil {
+		return err
+	}
+	n := &aeNode{
+		ep:     transport.NewEndpoint(sys.net, id),
+		id:     id,
+		parent: ap,
+		seen:   workset.New(),
+		flows:  make(map[int]*transport.Flow),
+		rng:    sys.eng.RNG(int64(id)*271828 + 0x6165),
+	}
+	sys.col.Track(id)
+	n.ep.OnData(func(from int, seq uint64, size int) { sys.onData(id, from, seq, size) })
+	n.ep.OnControl(func(from int, payload any, size int) { sys.onControl(id, from, payload) })
+	sys.Nodes[id] = n
+	sys.participants = append(sys.participants, id)
+	n.roundFn = func() { sys.aeRound(id) }
+	jitter := sim.Duration(n.rng.Int63n(int64(sys.cfg.Epoch)))
+	sys.eng.ScheduleAfter(sys.cfg.Epoch+jitter, n.roundFn)
+	// Wire the parent's stream flow to the newcomer.
+	pn := sys.Nodes[ap]
+	pn.children = sys.tree.Children(ap)
+	f, err := pn.ep.OpenFlow(id, sys.cfg.PacketSize)
+	if err != nil {
+		return err
+	}
+	pn.flows[id] = f
+	sys.epoch++
+	return nil
+}
+
+// Stop tears the deployment down.
+func (sys *AntiEntropySystem) Stop() {
+	if sys.stopped {
+		return
+	}
+	sys.stopped = true
+	member.StopAll(sys.Nodes, sys.dead, func(id int) { sys.Nodes[id].ep.Fail() })
 }

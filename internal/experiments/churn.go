@@ -1,0 +1,255 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"bullet/internal/core"
+	"bullet/internal/metrics"
+	"bullet/internal/overlay"
+	"bullet/internal/scenario"
+	"bullet/internal/sim"
+	"bullet/internal/streamer"
+	"bullet/internal/topology"
+)
+
+// Membership-churn experiments: the paper's headline evaluation is not
+// just static trees under lossy links — Bullet rides through *node*
+// failures, with RanSub re-discovering peers and receivers
+// re-installing Bloom filters elsewhere while orphans re-parent. These
+// runs replay a deterministic schedule of crashes, restarts, and joins
+// against both Bullet and the plain tree streamer (same topology, same
+// tree, same schedule), so the series differ only by protocol.
+//
+// Bandwidth summaries are computed over the nodes still live at the
+// end of the run: crashed nodes contribute zero forever, which would
+// charge both protocols identically for the dead and hide the real
+// difference — whether *survivors* keep receiving.
+
+// churnSystem is what a churn variant deploys: a scenario membership
+// plus the live-set introspection the summaries need.
+type churnSystem interface {
+	scenario.Membership
+	LiveNodes() []int
+}
+
+// churnCompare runs the same churn schedule against Bullet and the
+// plain tree streamer in two independent worlds built from the same
+// seed, and reports both useful-bandwidth series plus survivor-based
+// per-phase means. buildSched also returns the victim set (nodes the
+// schedule crashes); the live descendants those victims orphan get
+// their own orphan_* summaries — the sharpest protocol contrast, since
+// Bullet re-parents them while the streamer lets them starve.
+func churnCompare(name string, sc Scale, seed int64,
+	buildTree func(w *world) (*overlay.Tree, error),
+	buildSched func(g *topology.Graph, tree *overlay.Tree) (*scenario.Schedule, []int)) (*Result, error) {
+
+	t1, t2 := dynPhases(sc)
+	r := newResult(name)
+
+	type deployFn func(w *world, tree *overlay.Tree, col *metrics.Collector) (churnSystem, error)
+	variants := []struct {
+		label  string
+		deploy deployFn
+	}{
+		{"bullet", func(w *world, tree *overlay.Tree, col *metrics.Collector) (churnSystem, error) {
+			return core.Deploy(w.net, tree, bulletConfig(sc, defaultRateKbps), col)
+		}},
+		{"stream", func(w *world, tree *overlay.Tree, col *metrics.Collector) (churnSystem, error) {
+			return streamer.Deploy(w.net, tree, streamer.Config{
+				RateKbps: defaultRateKbps, PacketSize: 1500, Start: sc.Start, Duration: sc.Duration,
+			}, col)
+		}},
+	}
+	for _, v := range variants {
+		w, err := newWorld(sc, topology.MediumBandwidth, topology.NoLoss, seed)
+		if err != nil {
+			return nil, err
+		}
+		tree, err := buildTree(w)
+		if err != nil {
+			return nil, err
+		}
+		col := metrics.NewCollector(sim.Second)
+		sys, err := v.deploy(w, tree, col)
+		if err != nil {
+			return nil, err
+		}
+		sched, victims := buildSched(w.g, tree)
+		orphans := orphanedBy(tree, victims)
+		sched.Install(&scenario.Env{Eng: w.eng, G: w.g, M: sys})
+		w.eng.Run(sc.RunUntil)
+
+		live := sys.LiveNodes()
+		r.addSeries(v.label+"_useful", col.Series(metrics.Useful))
+		pre := col.MeanOverNodes(live, t1-20*sim.Second, t1, metrics.Useful)
+		during := col.MeanOverNodes(live, t1+5*sim.Second, t2, metrics.Useful)
+		post := col.MeanOverNodes(live, t2+10*sim.Second, sc.RunUntil, metrics.Useful)
+		r.Summary[v.label+"_before_kbps"] = pre
+		r.Summary[v.label+"_during_kbps"] = during
+		r.Summary[v.label+"_after_kbps"] = post
+		if pre > 0 {
+			r.Summary[v.label+"_recovery_ratio"] = post / pre
+		}
+		r.Summary[v.label+"_overall_kbps"] = col.MeanOverNodes(live, sc.Start+10*sim.Second, sc.RunUntil, metrics.Useful)
+		r.Summary[v.label+"_live_nodes"] = float64(len(live))
+		if len(orphans) > 0 {
+			opre := col.MeanOverNodes(orphans, t1-20*sim.Second, t1, metrics.Useful)
+			opost := col.MeanOverNodes(orphans, t2+10*sim.Second, sc.RunUntil, metrics.Useful)
+			r.Summary[v.label+"_orphan_before_kbps"] = opre
+			r.Summary[v.label+"_orphan_after_kbps"] = opost
+			if opre > 0 {
+				r.Summary[v.label+"_orphan_recovery_ratio"] = opost / opre
+			}
+		}
+	}
+	r.Summary["event_start_s"] = t1.ToSeconds()
+	r.Summary["event_end_s"] = t2.ToSeconds()
+	return r, nil
+}
+
+// orphanedBy returns the live descendants the victim set orphans in
+// the (pre-churn) tree: every node below a victim that is not itself a
+// victim, in sorted order.
+func orphanedBy(tree *overlay.Tree, victims []int) []int {
+	if len(victims) == 0 {
+		return nil
+	}
+	isVictim := make(map[int]bool, len(victims))
+	for _, v := range victims {
+		isVictim[v] = true
+	}
+	seen := make(map[int]bool)
+	var collect func(n int)
+	collect = func(n int) {
+		for _, c := range tree.Children(n) {
+			if !seen[c] {
+				seen[c] = true
+				collect(c)
+			}
+		}
+	}
+	for _, v := range victims {
+		collect(v)
+	}
+	var out []int
+	for n := range seen {
+		if !isVictim[n] {
+			out = append(out, n)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// pickVictims selects every stride'th non-root participant in sorted
+// order — a deterministic, tree-position-agnostic victim set.
+func pickVictims(participants []int, root int, stride int) []int {
+	var out []int
+	i := 0
+	for _, p := range participants {
+		if p == root {
+			continue
+		}
+		if i%stride == 0 {
+			out = append(out, p)
+		}
+		i++
+	}
+	return out
+}
+
+// ChurnCrash25 is the mass-failure workload: 25% of the non-root
+// overlay crashes at one instant mid-stream, and nobody comes back.
+// Bullet's orphans re-parent and its mesh re-installs Bloom filters at
+// live peers, so survivors recover their bandwidth; the streamer's
+// orphaned subtrees starve for the rest of the run.
+func ChurnCrash25(sc Scale, seed int64) (*Result, error) {
+	return churnCompare("Churn: mass failure of 25% of the overlay", sc, seed,
+		func(w *world) (*overlay.Tree, error) { return w.randomTree(sc) },
+		func(g *topology.Graph, tree *overlay.Tree) (*scenario.Schedule, []int) {
+			t1, _ := dynPhases(sc)
+			victims := pickVictims(tree.Participants, tree.Root, 4)
+			return scenario.New().At(t1, scenario.ChurnNodes(victims...)), victims
+		})
+}
+
+// ChurnCrashHeal crashes the worst-case subtree root (the paper's
+// "worst single failure" selection) mid-stream and restarts it at the
+// two-thirds mark. Bullet re-parents the orphans within its failover
+// delay and backfills the restarted node; the streamer's subtree
+// starves during the outage and the restarted node rejoins with
+// whatever keeps arriving — the outage data is gone.
+func ChurnCrashHeal(sc Scale, seed int64) (*Result, error) {
+	return churnCompare("Churn: worst-case subtree root crash and restart", sc, seed,
+		func(w *world) (*overlay.Tree, error) { return w.randomTree(sc) },
+		func(g *topology.Graph, tree *overlay.Tree) (*scenario.Schedule, []int) {
+			t1, t2 := dynPhases(sc)
+			victim, _ := tree.HeaviestChild(tree.Root)
+			s := scenario.New()
+			if victim < 0 {
+				return s, nil
+			}
+			return s.At(t1, scenario.CrashNode(victim)).
+				At(t2, scenario.RestartNode(victim)), []int{victim}
+		})
+}
+
+// ChurnRolling is continuous membership churn: between the one-third
+// and two-thirds marks, a new victim crashes at a fixed interval and
+// each stays down for a sixth of the stream before restarting.
+func ChurnRolling(sc Scale, seed int64) (*Result, error) {
+	return churnCompare("Churn: rolling crash/restart wave", sc, seed,
+		func(w *world) (*overlay.Tree, error) { return w.randomTree(sc) },
+		func(g *topology.Graph, tree *overlay.Tree) (*scenario.Schedule, []int) {
+			t1, t2 := dynPhases(sc)
+			victims := pickVictims(tree.Participants, tree.Root, 6)
+			if len(victims) == 0 {
+				return scenario.New(), nil
+			}
+			interval := (t2 - t1) / sim.Duration(len(victims))
+			return scenario.New().Churn(t1, interval, sc.Duration/6, victims...), victims
+		})
+}
+
+// ChurnJoin is the flash-join workload: the overlay deploys over
+// three quarters of the clients and the remaining quarter joins one by
+// one between the one-third and two-thirds marks, each attached at the
+// deterministic join point.
+func ChurnJoin(sc Scale, seed int64) (*Result, error) {
+	return churnCompare("Churn: late joiners attach mid-stream", sc, seed,
+		func(w *world) (*overlay.Tree, error) {
+			members := w.g.Clients[:len(w.g.Clients)*3/4]
+			return overlay.Random(members, members[0], sc.TreeDegree,
+				rand.New(rand.NewSource(w.seed^0x74726565)))
+		},
+		func(g *topology.Graph, tree *overlay.Tree) (*scenario.Schedule, []int) {
+			t1, t2 := dynPhases(sc)
+			var joiners []int
+			for _, c := range g.Clients {
+				if !tree.Contains(c) {
+					joiners = append(joiners, c)
+				}
+			}
+			s := scenario.New()
+			if len(joiners) == 0 {
+				return s, nil
+			}
+			interval := (t2 - t1) / sim.Duration(len(joiners))
+			for i, j := range joiners {
+				s.At(t1+sim.Duration(i)*interval, scenario.JoinNode(j))
+			}
+			return s, nil
+		})
+}
+
+func init() {
+	// Self-check: every churn experiment must be registered (the
+	// Registry literal lives in experiments.go, like the dyn-* ids).
+	for _, id := range []string{"churn-crash25", "churn-crashheal", "churn-rolling", "churn-join"} {
+		if _, ok := Registry[id]; !ok {
+			panic(fmt.Sprintf("experiments: %s missing from Registry", id))
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The acceptance regression for the churn subsystem: crashing 25% of
+// the overlay mid-stream, Bullet's surviving orphans recover useful
+// bandwidth (re-parented within the failover delay, mesh backfills)
+// while the plain streamer's orphaned subtrees starve for the rest of
+// the run.
+func TestChurnCrash25BulletRecoversStreamerDoesNot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full small-scale runs; skipped in -short")
+	}
+	r, err := ChurnCrash25(Small, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.Summary
+	// A quarter of the 40-client overlay must actually have died.
+	if s["bullet_live_nodes"] != 30 || s["stream_live_nodes"] != 30 {
+		t.Fatalf("live nodes bullet=%v stream=%v, want 30/30",
+			s["bullet_live_nodes"], s["stream_live_nodes"])
+	}
+	// Bullet's orphans recover at least their pre-crash bandwidth.
+	if ratio := s["bullet_orphan_recovery_ratio"]; ratio < 0.95 {
+		t.Errorf("bullet orphan recovery ratio %.3f, want >= 0.95", ratio)
+	}
+	// The streamer's orphans starve: under 10%% of their pre-crash rate.
+	if s["stream_orphan_after_kbps"] > 0.1*s["stream_orphan_before_kbps"] {
+		t.Errorf("stream orphans at %.1f Kbps after crash (%.1f before): expected starvation",
+			s["stream_orphan_after_kbps"], s["stream_orphan_before_kbps"])
+	}
+	// Survivor-wide, Bullet holds its bandwidth too.
+	if ratio := s["bullet_recovery_ratio"]; ratio < 0.95 {
+		t.Errorf("bullet survivor recovery ratio %.3f, want >= 0.95", ratio)
+	}
+	// And head-to-head on the orphans, the gap is the whole point.
+	if s["bullet_orphan_after_kbps"] < 4*s["stream_orphan_after_kbps"]+100 {
+		t.Errorf("bullet orphans %.1f Kbps not clearly above stream orphans %.1f Kbps",
+			s["bullet_orphan_after_kbps"], s["stream_orphan_after_kbps"])
+	}
+}
+
+// Shape checks for every churn experiment, mirroring the dyn-* suite:
+// both protocol series exist, phase summaries are sane, and Bullet
+// beats the streamer overall under identical churn.
+func TestChurnExperimentsShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full small-scale runs; skipped in -short")
+	}
+	for _, id := range []string{"churn-crash25", "churn-crashheal", "churn-rolling", "churn-join"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			r, err := Registry[id](Small, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, label := range []string{"bullet_useful", "stream_useful"} {
+				if len(r.Series[label]) == 0 {
+					t.Fatalf("missing series %q", label)
+				}
+			}
+			for _, proto := range []string{"bullet", "stream"} {
+				for _, phase := range []string{"_before_kbps", "_during_kbps", "_after_kbps", "_overall_kbps"} {
+					if v := r.Summary[proto+phase]; v <= 0 {
+						t.Errorf("summary %s%s = %v, want > 0", proto, phase, v)
+					}
+				}
+				if r.Summary[proto+"_live_nodes"] <= 0 {
+					t.Errorf("summary %s_live_nodes missing", proto)
+				}
+			}
+			switch id {
+			case "churn-crash25":
+				// Nobody comes back after the mass failure.
+				if r.Summary["bullet_live_nodes"] >= float64(Small.Clients) {
+					t.Errorf("crash25 left %v live nodes of %d: nobody crashed?",
+						r.Summary["bullet_live_nodes"], Small.Clients)
+				}
+			case "churn-crashheal", "churn-rolling", "churn-join":
+				// Everyone is back (or joined) by the end of the run.
+				if r.Summary["bullet_live_nodes"] != float64(Small.Clients) {
+					t.Errorf("%s ended with %v live nodes, want %d",
+						id, r.Summary["bullet_live_nodes"], Small.Clients)
+				}
+			}
+			if r.Summary["bullet_overall_kbps"] <= r.Summary["stream_overall_kbps"] {
+				t.Errorf("bullet overall %.1f <= stream overall %.1f",
+					r.Summary["bullet_overall_kbps"], r.Summary["stream_overall_kbps"])
+			}
+		})
+	}
+}
+
+// Churn runs are a pure function of (scale, seed): two executions of
+// the same mass-failure experiment produce identical summaries.
+func TestChurnDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four full small-scale runs; skipped in -short")
+	}
+	a, err := ChurnCrash25(Small, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ChurnCrash25(Small, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range a.Summary {
+		if b.Summary[k] != v {
+			t.Errorf("summary %q diverged: %v vs %v", k, v, b.Summary[k])
+		}
+	}
+}
+
+func TestSuggest(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"fig99", "fig9"},
+		{"churn-crash", "churn-crash25"},
+		{"dyn-partion", "dyn-partition"},
+		{"tabel1", "table1"},
+		{"completely-unrelated-nonsense", ""},
+	}
+	for _, c := range cases {
+		if got := Suggest(c.in); got != c.want {
+			t.Errorf("Suggest(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestUnknownExperimentErrorMessage(t *testing.T) {
+	res := execute(Run{ID: "fig99", Scale: Small, Seed: 1})
+	if res.Err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	ue, ok := res.Err.(*UnknownExperimentError)
+	if !ok {
+		t.Fatalf("wrong error type %T", res.Err)
+	}
+	if ue.Suggestion != "fig9" {
+		t.Errorf("suggestion %q, want fig9", ue.Suggestion)
+	}
+	if want := `unknown experiment "fig99" (did you mean "fig9"?)`; !strings.Contains(res.Err.Error(), want) {
+		t.Errorf("error %q missing %q", res.Err.Error(), want)
+	}
+}

@@ -217,6 +217,13 @@ var Registry = map[string]Runner{
 	"dyn-partition":  DynPartition,
 	"dyn-flashcrowd": DynFlashCrowd,
 	"dyn-oscillate":  DynOscillate,
+
+	// Membership-churn scenarios (see churn.go): crashes, restarts, and
+	// joins replayed against Bullet and the plain tree streamer.
+	"churn-crash25":   ChurnCrash25,
+	"churn-crashheal": ChurnCrashHeal,
+	"churn-rolling":   ChurnRolling,
+	"churn-join":      ChurnJoin,
 }
 
 // Names returns registry keys in a stable order.

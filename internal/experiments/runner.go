@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"fmt"
 	"runtime"
 	"sync"
 )
@@ -59,7 +58,7 @@ func RunAll(runs []Run, workers int) []RunResult {
 func execute(r Run) RunResult {
 	runner, ok := Registry[r.ID]
 	if !ok {
-		return RunResult{Run: r, Err: fmt.Errorf("experiments: unknown experiment %q", r.ID)}
+		return RunResult{Run: r, Err: &UnknownExperimentError{ID: r.ID, Suggestion: Suggest(r.ID)}}
 	}
 	res, err := runner(r.Scale, r.Seed)
 	return RunResult{Run: r, Result: res, Err: err}

@@ -1,0 +1,72 @@
+package experiments
+
+import "fmt"
+
+// UnknownExperimentError reports an unrecognized experiment id,
+// carrying the nearest registered id (by edit distance) when one is
+// plausibly close.
+type UnknownExperimentError struct {
+	ID         string
+	Suggestion string
+}
+
+func (e *UnknownExperimentError) Error() string {
+	if e.Suggestion != "" {
+		return fmt.Sprintf("experiments: unknown experiment %q (did you mean %q?)", e.ID, e.Suggestion)
+	}
+	return fmt.Sprintf("experiments: unknown experiment %q", e.ID)
+}
+
+// Suggest returns the registered experiment id nearest to id by
+// Levenshtein distance, or "" when nothing is within a third of the
+// id's length (rounded up, minimum 2) — far-off typos get no
+// misleading guess. Ties break to the lexicographically first id, so
+// the suggestion is deterministic.
+func Suggest(id string) string {
+	best, bestDist := "", -1
+	for _, cand := range Names() {
+		d := editDistance(id, cand)
+		if bestDist < 0 || d < bestDist {
+			best, bestDist = cand, d
+		}
+	}
+	maxDist := (len(id) + 2) / 3
+	if maxDist < 2 {
+		maxDist = 2
+	}
+	if bestDist < 0 || bestDist > maxDist {
+		return ""
+	}
+	return best
+}
+
+// editDistance is the classic two-row Levenshtein distance.
+func editDistance(a, b string) int {
+	if a == b {
+		return 0
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 0; i < len(a); i++ {
+		cur[0] = i + 1
+		for j := 0; j < len(b); j++ {
+			cost := 1
+			if a[i] == b[j] {
+				cost = 0
+			}
+			m := prev[j] + cost            // substitute
+			if d := prev[j+1] + 1; d < m { // delete
+				m = d
+			}
+			if d := cur[j] + 1; d < m { // insert
+				m = d
+			}
+			cur[j+1] = m
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}

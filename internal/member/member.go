@@ -1,0 +1,42 @@
+// Package member provides the small shared membership-bookkeeping
+// helpers every protocol system needs: sorted id collection over a
+// node map, live-set filtering against a dead set, and deterministic
+// (sorted-order) teardown. Keeping them in one place stops the
+// protocols' copies from drifting apart.
+package member
+
+import "sort"
+
+// SortedIDs returns the keys of m in ascending order. Protocol systems
+// must never let map iteration order leak into the simulation, so any
+// walk over a node map goes through this.
+func SortedIDs[V any](m map[int]V) []int {
+	out := make([]int, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// LiveIDs returns the keys of m not marked dead, in ascending order.
+func LiveIDs[V any](m map[int]V, dead map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for id := range m {
+		if !dead[id] {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// StopAll invokes fail for every non-dead id of m in ascending order —
+// the deterministic teardown shared by every system's Stop.
+func StopAll[V any](m map[int]V, dead map[int]bool, fail func(id int)) {
+	for _, id := range SortedIDs(m) {
+		if !dead[id] {
+			fail(id)
+		}
+	}
+}

@@ -181,24 +181,36 @@ func (c *Collector) CDFAt(t sim.Time, k Kind) []float64 {
 // MeanOver returns the across-node, across-bucket mean bandwidth in
 // Kbps of kind k over [from, to).
 func (c *Collector) MeanOver(from, to sim.Time, k Kind) float64 {
+	return c.MeanOverNodes(c.nodeIDs(), from, to, k)
+}
+
+// MeanOverNodes is MeanOver restricted to the given node ids — used by
+// churn experiments to measure survivors separately from crashed
+// nodes. Ids never tracked contribute zero, like tracked nodes that
+// never received a byte. Callers must pass nodes in a deterministic
+// order (float aggregation order is behaviourally significant).
+func (c *Collector) MeanOverNodes(nodes []int, from, to sim.Time, k Kind) float64 {
 	lo, hi := int(from/c.bucket), int(to/c.bucket)
 	if hi > c.maxIdx+1 {
 		hi = c.maxIdx + 1
 	}
-	if hi <= lo || len(c.nodes) == 0 {
+	if hi <= lo || len(nodes) == 0 {
 		return 0
 	}
 	bucketSec := c.bucket.ToSeconds()
 	var sum float64
-	for _, id := range c.nodeIDs() {
+	for _, id := range nodes {
 		ns := c.nodes[id]
+		if ns == nil {
+			continue
+		}
 		for i := lo; i < hi; i++ {
 			if i < len(ns.buckets[k]) {
 				sum += float64(ns.buckets[k][i])
 			}
 		}
 	}
-	return sum * 8 / 1000 / bucketSec / float64(hi-lo) / float64(len(c.nodes))
+	return sum * 8 / 1000 / bucketSec / float64(hi-lo) / float64(len(nodes))
 }
 
 // Total returns the total bytes of kind k across all nodes.

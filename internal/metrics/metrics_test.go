@@ -120,3 +120,89 @@ func TestKindString(t *testing.T) {
 		}
 	}
 }
+
+// Window-edge behavior of MeanOver: degenerate, empty, and
+// out-of-range windows must all return 0 rather than NaN or panic.
+func TestMeanOverWindowEdges(t *testing.T) {
+	c := NewCollector(sim.Second)
+	c.Track(1)
+	c.Track(2)
+	c.Add(0, 1, Useful, 125000)            // 1000 Kbps in bucket 0
+	c.Add(5*sim.Second, 2, Useful, 250000) // 2000 Kbps in bucket 5
+
+	// start == end: zero-width window.
+	if got := c.MeanOver(3*sim.Second, 3*sim.Second, Useful); got != 0 {
+		t.Errorf("zero-width window = %v, want 0", got)
+	}
+	// Inverted window.
+	if got := c.MeanOver(10*sim.Second, 2*sim.Second, Useful); got != 0 {
+		t.Errorf("inverted window = %v, want 0", got)
+	}
+	// Entirely beyond the recorded data: clamped to nothing.
+	if got := c.MeanOver(100*sim.Second, 200*sim.Second, Useful); got != 0 {
+		t.Errorf("out-of-range window = %v, want 0", got)
+	}
+	// Window covering only empty buckets between the two samples.
+	if got := c.MeanOver(sim.Second, 5*sim.Second, Useful); got != 0 {
+		t.Errorf("empty-bucket window = %v, want 0", got)
+	}
+	// A window extending past the last bucket clamps to recorded data:
+	// bucket 5 holds 2000 Kbps on one of two nodes -> 1000 Kbps mean.
+	if got := c.MeanOver(5*sim.Second, 60*sim.Second, Useful); got != 1000 {
+		t.Errorf("clamped window = %v, want 1000", got)
+	}
+	// Full window: 1000 + 2000 Kbps over 6 buckets and 2 nodes.
+	want := 3000.0 / 6 / 2
+	if got := c.MeanOver(0, 6*sim.Second, Useful); got != want {
+		t.Errorf("full window = %v, want %v", got, want)
+	}
+}
+
+// An empty collector (no tracked nodes, no samples) reports 0 for any
+// window.
+func TestMeanOverEmptyCollector(t *testing.T) {
+	c := NewCollector(sim.Second)
+	if got := c.MeanOver(0, 10*sim.Second, Useful); got != 0 {
+		t.Errorf("empty collector = %v, want 0", got)
+	}
+	if got := c.MeanOver(0, 0, Raw); got != 0 {
+		t.Errorf("empty collector zero window = %v, want 0", got)
+	}
+	if c.Nodes() != 0 {
+		t.Errorf("empty collector tracks %d nodes", c.Nodes())
+	}
+}
+
+func TestMeanOverNodes(t *testing.T) {
+	c := NewCollector(sim.Second)
+	c.Track(1)
+	c.Track(2)
+	c.Track(3)
+	c.Add(0, 1, Useful, 125000) // 1000 Kbps
+	c.Add(0, 2, Useful, 250000) // 2000 Kbps
+
+	// Subset mean over one bucket.
+	if got := c.MeanOverNodes([]int{1, 2}, 0, sim.Second, Useful); got != 1500 {
+		t.Errorf("subset mean = %v, want 1500", got)
+	}
+	// A node with no bytes dilutes the mean.
+	if got := c.MeanOverNodes([]int{1, 3}, 0, sim.Second, Useful); got != 500 {
+		t.Errorf("diluted mean = %v, want 500", got)
+	}
+	// Unknown ids contribute zero instead of panicking.
+	if got := c.MeanOverNodes([]int{1, 99}, 0, sim.Second, Useful); got != 500 {
+		t.Errorf("unknown-id mean = %v, want 500", got)
+	}
+	// Empty node set and degenerate windows.
+	if got := c.MeanOverNodes(nil, 0, sim.Second, Useful); got != 0 {
+		t.Errorf("nil node set = %v, want 0", got)
+	}
+	if got := c.MeanOverNodes([]int{1}, sim.Second, sim.Second, Useful); got != 0 {
+		t.Errorf("zero-width window = %v, want 0", got)
+	}
+	// Consistency with MeanOver when the set is all tracked nodes.
+	all := c.MeanOver(0, sim.Second, Useful)
+	if got := c.MeanOverNodes([]int{1, 2, 3}, 0, sim.Second, Useful); got != all {
+		t.Errorf("MeanOverNodes(all) = %v, MeanOver = %v", got, all)
+	}
+}

@@ -220,6 +220,100 @@ func (t *Tree) Remove(node int) []int {
 	return orphans
 }
 
+// ReparentChildren detaches a single failed node and re-attaches its
+// children — in their existing order — under the nearest live ancestor
+// (node's own parent, for a direct call). It is the deterministic
+// orphan re-parenting rule of the churn subsystem: no randomness, no
+// load balancing, just promotion one level up. The promoted children
+// are returned in attachment order. Removing the root is an error.
+func (t *Tree) ReparentChildren(node int) ([]int, error) {
+	p, ok := t.parent[node]
+	if !ok {
+		return nil, fmt.Errorf("overlay: node %d not in tree", node)
+	}
+	if p < 0 {
+		return nil, fmt.Errorf("overlay: cannot reparent children of root %d", node)
+	}
+	promoted := append([]int(nil), t.children[node]...)
+	// Unlink node from its parent.
+	cs := t.children[p]
+	for i, c := range cs {
+		if c == node {
+			t.children[p] = append(cs[:i], cs[i+1:]...)
+			break
+		}
+	}
+	// Promote the children.
+	for _, c := range promoted {
+		t.parent[c] = p
+		t.children[p] = append(t.children[p], c)
+	}
+	delete(t.parent, node)
+	delete(t.children, node)
+	kept := t.Participants[:0]
+	for _, q := range t.Participants {
+		if q != node {
+			kept = append(kept, q)
+		}
+	}
+	t.Participants = kept
+	return promoted, nil
+}
+
+// AttachPoint returns the deterministic join point for a new
+// participant: the first node in breadth-first order (children in
+// stored order) that passes the eligible filter and has out-degree
+// below maxDegree. maxDegree < 1 means unbounded; a nil filter accepts
+// every node. It returns -1 when no node qualifies (e.g. every
+// candidate is filtered out).
+func (t *Tree) AttachPoint(maxDegree int, eligible func(node int) bool) int {
+	if _, ok := t.parent[t.Root]; !ok {
+		return -1
+	}
+	queue := []int{t.Root}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if (eligible == nil || eligible(n)) && (maxDegree < 1 || t.Degree(n) < maxDegree) {
+			return n
+		}
+		queue = append(queue, t.children[n]...)
+	}
+	return -1
+}
+
+// MaxDegree returns the largest out-degree in the tree (0 for a
+// single-node tree). Protocol systems use max(2, MaxDegree()) as the
+// degree bound for runtime joins.
+func (t *Tree) MaxDegree() int {
+	max := 0
+	for _, p := range t.Participants {
+		if d := len(t.children[p]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// ConnectedToRoot reports whether n and every ancestor up to the root
+// passes the live filter — i.e. whether data streamed from the root
+// actually reaches n. A nil filter treats every node as live.
+func (t *Tree) ConnectedToRoot(n int, live func(node int) bool) bool {
+	for {
+		if live != nil && !live(n) {
+			return false
+		}
+		p, ok := t.parent[n]
+		if !ok {
+			return false // not in the tree at all
+		}
+		if p < 0 {
+			return n == t.Root
+		}
+		n = p
+	}
+}
+
 // Random builds a random tree: participants are attached in random
 // order to a uniformly random already-attached node with spare degree.
 // This is the paper's "random tree" baseline.

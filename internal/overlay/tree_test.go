@@ -245,3 +245,79 @@ func TestBottleneckRatePositive(t *testing.T) {
 		t.Fatalf("bottleneck rate %v", r)
 	}
 }
+
+func TestReparentChildren(t *testing.T) {
+	//       1
+	//      / \
+	//     2   3
+	//    / \
+	//   4   5
+	tr := NewTree(1)
+	for _, e := range [][2]int{{2, 1}, {3, 1}, {4, 2}, {5, 2}} {
+		if err := tr.Attach(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	promoted, err := tr.ReparentChildren(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(promoted) != 2 || promoted[0] != 4 || promoted[1] != 5 {
+		t.Fatalf("promoted %v, want [4 5]", promoted)
+	}
+	if tr.Contains(2) {
+		t.Fatal("removed node still present")
+	}
+	for _, n := range []int{4, 5} {
+		if p, _ := tr.Parent(n); p != 1 {
+			t.Fatalf("node %d parent %d, want 1", n, p)
+		}
+	}
+	// Children order at the grandparent: existing child first, then the
+	// promoted ones in their original order.
+	if got := tr.Children(1); len(got) != 3 || got[0] != 3 || got[1] != 4 || got[2] != 5 {
+		t.Fatalf("root children %v, want [3 4 5]", got)
+	}
+	if tr.Size() != 4 {
+		t.Fatalf("size %d, want 4", tr.Size())
+	}
+	if err := tr.Validate([]int{1, 3, 4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	// Errors: root and unknown nodes.
+	if _, err := tr.ReparentChildren(1); err == nil {
+		t.Fatal("reparenting the root was allowed")
+	}
+	if _, err := tr.ReparentChildren(99); err == nil {
+		t.Fatal("reparenting an unknown node was allowed")
+	}
+}
+
+func TestAttachPoint(t *testing.T) {
+	tr := NewTree(1)
+	for _, e := range [][2]int{{2, 1}, {3, 1}, {4, 2}} {
+		if err := tr.Attach(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Root has degree 2: with bound 3 the root itself is first in BFS.
+	if got := tr.AttachPoint(3, nil); got != 1 {
+		t.Fatalf("AttachPoint(3) = %d, want 1", got)
+	}
+	// Bound 2: root is full; BFS order visits 2 (degree 1) next.
+	if got := tr.AttachPoint(2, nil); got != 2 {
+		t.Fatalf("AttachPoint(2) = %d, want 2", got)
+	}
+	// Filter: excluding node 2 moves the choice to 3.
+	if got := tr.AttachPoint(2, func(n int) bool { return n != 2 }); got != 3 {
+		t.Fatalf("filtered AttachPoint = %d, want 3", got)
+	}
+	// Unbounded degree always yields the root.
+	if got := tr.AttachPoint(0, nil); got != 1 {
+		t.Fatalf("AttachPoint(0) = %d, want 1", got)
+	}
+	// Nothing eligible.
+	if got := tr.AttachPoint(2, func(int) bool { return false }); got != -1 {
+		t.Fatalf("AttachPoint with empty filter = %d, want -1", got)
+	}
+}

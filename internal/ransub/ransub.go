@@ -177,6 +177,64 @@ func (a *Agent) ChildSubtreeSize(child int) int {
 // Children returns the children list (shared; do not mutate).
 func (a *Agent) Children() []int { return a.children }
 
+// ---------------------------------------------------------------------
+// Membership changes (churn support). All three operations are
+// deterministic: they mutate only this agent's tree-neighbor state and
+// never consult randomness, so scheduled membership events preserve
+// the pure-function-of-(config, seed, schedule) contract.
+// ---------------------------------------------------------------------
+
+// SetParent re-homes this agent under a new tree parent (-1 makes it a
+// root). Used when orphan re-parenting moves the node one level up.
+func (a *Agent) SetParent(parent int) { a.parent = parent }
+
+// AddChild registers a new tree child. The child participates in the
+// collect/distribute wave from the next epoch onward; the current
+// epoch's accounting is untouched.
+func (a *Agent) AddChild(child int) {
+	for _, c := range a.children {
+		if c == child {
+			return
+		}
+	}
+	a.children = append(a.children, child)
+}
+
+// RemoveChild forgets a (typically crashed) tree child so waves skip
+// it: its cached collect state is dropped and, if the current epoch
+// was still waiting on its collect, the wave advances immediately
+// instead of stalling until the root's failure-detection timeout.
+func (a *Agent) RemoveChild(child int) {
+	idx := -1
+	for i, c := range a.children {
+		if c == child {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return
+	}
+	a.children = append(a.children[:idx], a.children[idx+1:]...)
+	delete(a.childCollect, child)
+	if a.collectsWaited == nil || !a.collectsWaited[child] {
+		return
+	}
+	delete(a.collectsWaited, child)
+	if len(a.collectsWaited) > 0 {
+		return
+	}
+	// The removed child was the last one holding the wave back. (A
+	// non-root agent only populates collectsWaited after processing a
+	// distribute, so sending the collect here is always in-epoch —
+	// the same drain path as onCollect.)
+	if a.IsRoot() {
+		a.maybeAdvance()
+	} else {
+		a.sendCollect()
+	}
+}
+
 // Start begins epoch generation. Call on the root only; non-root agents
 // are driven entirely by messages.
 func (a *Agent) Start() {
@@ -185,6 +243,15 @@ func (a *Agent) Start() {
 	}
 	a.started = true
 	a.beginEpoch()
+}
+
+// Stop halts epoch generation at the root: pending epoch/timeout timers
+// become no-ops instead of re-arming forever, so a stopped deployment
+// charges nothing to the rest of the run. Non-root agents are
+// message-driven and need no stop.
+func (a *Agent) Stop() {
+	a.started = false
+	a.epochTimer.Cancel()
 }
 
 func (a *Agent) ownEntry() Entry {
@@ -325,9 +392,14 @@ func (a *Agent) onCollect(from int, m *collectMsg) {
 	if m.epoch != a.epoch {
 		return // stale collect: keep the state, don't advance the phase
 	}
-	if a.collectsWaited != nil {
-		delete(a.collectsWaited, from)
+	// Only a collect we were actually waiting on can advance the phase:
+	// a freshly adopted child (orphan re-parented mid-epoch) may deliver
+	// a same-epoch collect after we already sent ours, which must not
+	// emit a duplicate.
+	if a.collectsWaited == nil || !a.collectsWaited[from] {
+		return
 	}
+	delete(a.collectsWaited, from)
 	if len(a.collectsWaited) == 0 {
 		if a.IsRoot() {
 			a.maybeAdvance()

@@ -298,3 +298,72 @@ func TestRanSubEpochPacing(t *testing.T) {
 		t.Fatalf("%d epochs in 52s with 5s minimum", got)
 	}
 }
+
+// Membership: removing a crashed child keeps the collect/distribute
+// wave moving without relying on the root's failure-detection timeout.
+func TestRemoveChildUnblocksWave(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FailureDetection = false // removal alone must keep epochs going
+	w := buildWorld(t, 5, 30, cfg)
+	root := w.tree.Root
+	// Victim: the root child with the largest subtree, so the stall
+	// would be maximal without removal.
+	victim, _ := w.tree.HeaviestChild(root)
+	if victim < 0 {
+		t.Fatal("no root child")
+	}
+	w.agents[root].Start()
+	w.eng.Run(12 * sim.Second)
+	atCrash := w.agents[root].EpochsCompleted()
+	w.eps[victim].Fail()
+	w.agents[root].RemoveChild(victim)
+	w.eng.Run(60 * sim.Second)
+	after := w.agents[root].EpochsCompleted()
+	if after-atCrash < 3 {
+		t.Fatalf("only %d epochs completed in ~48s after crash+removal (epoch 5s): wave stalled",
+			after-atCrash)
+	}
+	// The victim must no longer be waited on or listed.
+	for _, c := range w.agents[root].Children() {
+		if c == victim {
+			t.Fatal("victim still listed as child")
+		}
+	}
+}
+
+// Membership list manipulation: AddChild dedups, RemoveChild of an
+// unknown child is a no-op, SetParent re-homes the agent.
+func TestMembershipAccessors(t *testing.T) {
+	w := buildWorld(t, 6, 10, DefaultConfig())
+	leafID := -1
+	for _, n := range w.g.Clients {
+		if len(w.tree.Children(n)) == 0 {
+			leafID = n
+			break
+		}
+	}
+	if leafID < 0 {
+		t.Fatal("no leaf")
+	}
+	ag := w.agents[leafID]
+	if len(ag.Children()) != 0 {
+		t.Fatal("leaf has children")
+	}
+	ag.AddChild(42)
+	ag.AddChild(42)
+	if got := ag.Children(); len(got) != 1 || got[0] != 42 {
+		t.Fatalf("children after dup add: %v", got)
+	}
+	ag.RemoveChild(99) // unknown: no-op
+	ag.RemoveChild(42)
+	if len(ag.Children()) != 0 {
+		t.Fatal("child not removed")
+	}
+	if ag.IsRoot() {
+		t.Fatal("leaf reports root")
+	}
+	ag.SetParent(-1)
+	if !ag.IsRoot() {
+		t.Fatal("SetParent(-1) did not make agent a root")
+	}
+}

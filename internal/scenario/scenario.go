@@ -25,11 +25,27 @@ import (
 	"bullet/internal/topology"
 )
 
+// Membership is the overlay-churn half of a scenario environment:
+// anything that can crash, restart, and admit participants at runtime
+// (a deployed protocol system, or a fan-out over several of them).
+// Implementations must be deterministic; errors (e.g. crashing an
+// already-crashed node) are reported to the caller of the membership
+// operation and ignored by scenario actions.
+type Membership interface {
+	Crash(node int) error
+	Restart(node int) error
+	Join(node int) error
+}
+
 // Env is what actions act upon: the simulation engine that carries
-// virtual time and the graph whose link state they mutate.
+// virtual time, the graph whose link state network actions mutate, and
+// (optionally) the deployment membership churn actions act on. A nil M
+// makes every membership action a no-op, so link-only schedules work
+// unchanged.
 type Env struct {
 	Eng *sim.Engine
 	G   *topology.Graph
+	M   Membership
 }
 
 // Action is one atomic network mutation. Actions must be deterministic:
@@ -84,6 +100,53 @@ func Heal() Action {
 // Func wraps an arbitrary deterministic function as an Action, for
 // mutations the stock vocabulary does not cover.
 func Func(fn func(env *Env)) Action { return fn }
+
+// CrashNode crashes an overlay participant mid-run (no-op without a
+// Membership in the Env). What happens next is protocol-defined:
+// Bullet re-parents the orphans and re-installs Bloom filters at live
+// peers after its failover delay; the plain streamer's subtree simply
+// starves.
+func CrashNode(node int) Action {
+	return func(env *Env) {
+		if env.M != nil {
+			_ = env.M.Crash(node)
+		}
+	}
+}
+
+// RestartNode brings a crashed participant back (no-op without a
+// Membership in the Env).
+func RestartNode(node int) Action {
+	return func(env *Env) {
+		if env.M != nil {
+			_ = env.M.Restart(node)
+		}
+	}
+}
+
+// JoinNode admits a brand-new participant mid-run (no-op without a
+// Membership in the Env).
+func JoinNode(node int) Action {
+	return func(env *Env) {
+		if env.M != nil {
+			_ = env.M.Join(node)
+		}
+	}
+}
+
+// ChurnNodes crashes the whole node set at one instant — the paper's
+// mass-failure workload (e.g. "kill 25% of the overlay mid-stream").
+func ChurnNodes(nodes ...int) Action {
+	ns := append([]int(nil), nodes...)
+	return func(env *Env) {
+		if env.M == nil {
+			return
+		}
+		for _, n := range ns {
+			_ = env.M.Crash(n)
+		}
+	}
+}
 
 // event is one scheduled batch of actions.
 type event struct {
@@ -149,6 +212,22 @@ func (s *Schedule) Oscillate(start sim.Time, period sim.Duration, cycles int, a,
 		t := start + sim.Duration(c)*period
 		s.At(t, a)
 		s.At(t+period/2, b)
+	}
+	return s
+}
+
+// Churn schedules a rolling crash/restart wave: starting at start, one
+// node of nodes crashes every interval (in the given order), and each
+// crashed node restarts downFor after its crash. With downFor <= 0
+// nodes never come back. Composes freely with link dynamics on the
+// same schedule.
+func (s *Schedule) Churn(start sim.Time, interval, downFor sim.Duration, nodes ...int) *Schedule {
+	for i, n := range nodes {
+		at := start + sim.Duration(i)*interval
+		s.At(at, CrashNode(n))
+		if downFor > 0 {
+			s.At(at+downFor, RestartNode(n))
+		}
 	}
 	return s
 }

@@ -123,3 +123,78 @@ func TestInstallIntoTwoWorlds(t *testing.T) {
 		}
 	}
 }
+
+// fakeMembership records churn operations for assertion.
+type fakeMembership struct {
+	crashes, restarts, joins []int
+}
+
+func (f *fakeMembership) Crash(n int) error   { f.crashes = append(f.crashes, n); return nil }
+func (f *fakeMembership) Restart(n int) error { f.restarts = append(f.restarts, n); return nil }
+func (f *fakeMembership) Join(n int) error    { f.joins = append(f.joins, n); return nil }
+
+func TestMembershipActions(t *testing.T) {
+	env, _ := testEnv(t)
+	m := &fakeMembership{}
+	env.M = m
+	New().
+		At(10*sim.Second, CrashNode(7)).
+		At(20*sim.Second, ChurnNodes(1, 2, 3)).
+		At(30*sim.Second, RestartNode(7)).
+		At(40*sim.Second, JoinNode(9)).
+		Install(env)
+	env.Eng.Run(60 * sim.Second)
+	if len(m.crashes) != 4 || m.crashes[0] != 7 || m.crashes[1] != 1 || m.crashes[3] != 3 {
+		t.Fatalf("crashes %v, want [7 1 2 3]", m.crashes)
+	}
+	if len(m.restarts) != 1 || m.restarts[0] != 7 {
+		t.Fatalf("restarts %v, want [7]", m.restarts)
+	}
+	if len(m.joins) != 1 || m.joins[0] != 9 {
+		t.Fatalf("joins %v, want [9]", m.joins)
+	}
+}
+
+// Without a Membership in the Env, membership actions are no-ops: the
+// schedule installs and runs without panicking.
+func TestMembershipActionsNilM(t *testing.T) {
+	env, lid := testEnv(t)
+	New().
+		At(5*sim.Second, CrashNode(7), FailLink(lid)).
+		At(10*sim.Second, RestartNode(7), JoinNode(8), ChurnNodes(1, 2)).
+		Install(env)
+	env.Eng.Run(20 * sim.Second)
+	if !env.G.Links[lid].Down {
+		t.Fatal("link action did not fire alongside nil-M membership actions")
+	}
+}
+
+func TestChurnBuilder(t *testing.T) {
+	env, _ := testEnv(t)
+	m := &fakeMembership{}
+	env.M = m
+	var times []sim.Time
+	s := New()
+	s.Churn(10*sim.Second, 5*sim.Second, 7*sim.Second, 1, 2, 3)
+	if s.Len() != 6 {
+		t.Fatalf("churn of 3 nodes scheduled %d events, want 6", s.Len())
+	}
+	s.At(60*sim.Second, Func(func(env *Env) { times = append(times, env.Eng.Now()) }))
+	s.Install(env)
+	env.Eng.Run(70 * sim.Second)
+	if len(m.crashes) != 3 || len(m.restarts) != 3 {
+		t.Fatalf("crashes %v restarts %v, want 3 each", m.crashes, m.restarts)
+	}
+	// Order: node i crashes at 10+5i and restarts 7s later.
+	want := []int{1, 2, 3}
+	for i, n := range want {
+		if m.crashes[i] != n || m.restarts[i] != n {
+			t.Fatalf("churn order: crashes %v restarts %v", m.crashes, m.restarts)
+		}
+	}
+	// downFor <= 0: no restarts scheduled.
+	s2 := New().Churn(0, sim.Second, 0, 4, 5)
+	if s2.Len() != 2 {
+		t.Fatalf("no-restart churn scheduled %d events, want 2", s2.Len())
+	}
+}

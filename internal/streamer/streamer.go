@@ -10,6 +10,7 @@ package streamer
 import (
 	"fmt"
 
+	"bullet/internal/member"
 	"bullet/internal/metrics"
 	"bullet/internal/netem"
 	"bullet/internal/overlay"
@@ -48,6 +49,12 @@ type System struct {
 	cfg   Config
 	col   *metrics.Collector
 	eng   *sim.Engine
+
+	net        *netem.Network
+	dead       map[int]bool
+	epoch      int // membership epoch: churn operation count
+	joinDegree int
+	stopped    bool
 }
 
 // Deploy creates endpoints and flows for every tree participant and
@@ -59,7 +66,8 @@ func Deploy(net *netem.Network, tree *overlay.Tree, cfg Config, col *metrics.Col
 	if cfg.RateKbps <= 0 {
 		return nil, fmt.Errorf("streamer: rate %v Kbps", cfg.RateKbps)
 	}
-	sys := &System{Nodes: make(map[int]*Node), Tree: tree, cfg: cfg, col: col, eng: net.Engine()}
+	sys := &System{Nodes: make(map[int]*Node), Tree: tree, cfg: cfg, col: col,
+		eng: net.Engine(), net: net, dead: make(map[int]bool)}
 	for _, id := range tree.Participants {
 		parent := -1
 		if p, ok := tree.Parent(id); ok {
@@ -92,11 +100,14 @@ func Deploy(net *netem.Network, tree *overlay.Tree, cfg Config, col *metrics.Col
 	if interval < sim.Microsecond {
 		interval = sim.Microsecond
 	}
+	if sys.joinDegree = tree.MaxDegree(); sys.joinDegree < 2 {
+		sys.joinDegree = 2
+	}
 	var seq uint64
 	end := cfg.Start + cfg.Duration
 	var pump func()
 	pump = func() {
-		if sys.eng.Now() >= end {
+		if sys.eng.Now() >= end || sys.stopped {
 			return
 		}
 		root := sys.Nodes[tree.Root]
@@ -136,4 +147,125 @@ func (sys *System) Fail(id int) {
 	if n, ok := sys.Nodes[id]; ok {
 		n.ep.Fail()
 	}
+}
+
+// ---------------------------------------------------------------------
+// Membership runtime. The plain streamer is the no-recovery baseline:
+// a crash orphans the node's entire subtree — there is deliberately no
+// re-parenting, so whatever the orphans miss stays missing. Restart and
+// Join are still supported so churn scenarios compose across protocols.
+// ---------------------------------------------------------------------
+
+// Collector returns the metrics sink.
+func (sys *System) Collector() *metrics.Collector { return sys.col }
+
+// MemberEpoch returns the number of membership changes applied so far.
+func (sys *System) MemberEpoch() int { return sys.epoch }
+
+// Live reports whether id is a current non-crashed participant.
+func (sys *System) Live(id int) bool {
+	_, ok := sys.Nodes[id]
+	return ok && !sys.dead[id]
+}
+
+// LiveNodes returns the ids of current non-crashed participants sorted.
+func (sys *System) LiveNodes() []int { return member.LiveIDs(sys.Nodes, sys.dead) }
+
+// Crash fails node id. Its subtree is orphaned: descendants keep their
+// tree positions but receive nothing — the baseline's weakness the
+// paper's failure experiments expose. The source cannot crash.
+func (sys *System) Crash(id int) error {
+	n, ok := sys.Nodes[id]
+	if !ok {
+		return fmt.Errorf("streamer: node %d is not a participant", id)
+	}
+	if sys.dead[id] {
+		return fmt.Errorf("streamer: node %d already crashed", id)
+	}
+	if id == sys.Tree.Root {
+		return fmt.Errorf("streamer: cannot crash the source (tree root %d)", id)
+	}
+	n.ep.Fail()
+	sys.dead[id] = true
+	sys.epoch++
+	return nil
+}
+
+// Restart brings a crashed node back in place: the endpoint resumes
+// receiving from its parent's still-open flow and fresh flows reopen to
+// its children, but data streamed while it was down is gone for good.
+func (sys *System) Restart(id int) error {
+	n, ok := sys.Nodes[id]
+	if !ok || !sys.dead[id] {
+		return fmt.Errorf("streamer: node %d is not crashed", id)
+	}
+	n.ep.Restart()
+	for _, c := range n.children {
+		f, err := n.ep.OpenFlow(c, sys.cfg.PacketSize)
+		if err != nil {
+			return err
+		}
+		n.flows[c] = f
+	}
+	delete(sys.dead, id)
+	sys.epoch++
+	return nil
+}
+
+// connected reports whether n and every tree ancestor up to the root
+// is live — a join point must actually receive the stream, not merely
+// be alive inside an orphaned subtree.
+func (sys *System) connected(n int) bool {
+	return sys.Tree.ConnectedToRoot(n, func(x int) bool { return !sys.dead[x] })
+}
+
+// Join attaches a brand-new participant at the deterministic join point
+// (first breadth-first connected node with spare degree) and starts
+// streaming to it from there.
+func (sys *System) Join(id int) error {
+	if _, ok := sys.Nodes[id]; ok {
+		if sys.dead[id] {
+			return fmt.Errorf("streamer: node %d crashed; use Restart", id)
+		}
+		return fmt.Errorf("streamer: node %d is already a participant", id)
+	}
+	ap := sys.Tree.AttachPoint(sys.joinDegree, sys.connected)
+	if ap < 0 {
+		return fmt.Errorf("streamer: no live attach point for node %d", id)
+	}
+	if err := sys.Tree.Attach(id, ap); err != nil {
+		return err
+	}
+	n := &Node{
+		ep:     transport.NewEndpoint(sys.net, id),
+		id:     id,
+		parent: ap,
+		flows:  make(map[int]*transport.Flow),
+		seen:   workset.New(),
+		col:    sys.col,
+	}
+	sys.col.Track(id)
+	n.ep.OnData(func(from int, seq uint64, size int) { sys.onData(id, from, seq, size) })
+	sys.Nodes[id] = n
+	// The parent's captured children slice predates the join; refresh it
+	// and open the new flow.
+	pn := sys.Nodes[ap]
+	pn.children = sys.Tree.Children(ap)
+	f, err := pn.ep.OpenFlow(id, sys.cfg.PacketSize)
+	if err != nil {
+		return err
+	}
+	pn.flows[id] = f
+	sys.epoch++
+	return nil
+}
+
+// Stop tears the deployment down: the source halts and every live
+// endpoint goes offline.
+func (sys *System) Stop() {
+	if sys.stopped {
+		return
+	}
+	sys.stopped = true
+	member.StopAll(sys.Nodes, sys.dead, func(id int) { sys.Nodes[id].ep.Fail() })
 }

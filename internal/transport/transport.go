@@ -129,8 +129,21 @@ func (ep *Endpoint) Fail() {
 	}
 }
 
-// Failed reports whether Fail was called.
+// Failed reports whether Fail was called (and Restart has not).
 func (ep *Endpoint) Failed() bool { return ep.failed }
+
+// Restart brings a failed endpoint back: it re-registers with the
+// network and resumes receiving. Send flows closed by Fail stay
+// closed — a restarted protocol instance opens fresh ones — while
+// receive flows resume feedback as data arrives. Restarting a live
+// endpoint is a no-op.
+func (ep *Endpoint) Restart() {
+	if !ep.failed {
+		return
+	}
+	ep.failed = false
+	ep.net.Register(ep.node, ep.onPacket)
+}
 
 // SendControl transmits a reliable control message of the given wire
 // size to another node.

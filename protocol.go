@@ -1,0 +1,306 @@
+package bullet
+
+// The Protocol/Deployment API: one uniform way to deploy any protocol
+// in this repository into a World and drive it at runtime.
+//
+// A Protocol is anything deployable — Bullet itself, the plain tree
+// streamer, push gossip, streaming + anti-entropy — and each ships as
+// a small config struct implementing the interface, registered by name
+// ("bullet", "streamer", "gossip", "anti-entropy"). A Deployment is
+// the runtime handle every deploy returns: metrics, per-node
+// introspection, teardown, and — the capability the old Deploy*
+// methods could not express — membership churn. Crash, Restart, and
+// Join compose with link dynamics through scenarios:
+//
+//	w, _ := bullet.NewWorld(bullet.WorldConfig{Seed: 1})
+//	tree, _ := w.RandomTree(5)
+//	p, _ := bullet.ProtocolByName("bullet")
+//	d, _ := w.Deploy(p, tree)
+//	w.Scenario(bullet.NewScenario().
+//	    At(60*bullet.Second, bullet.CrashNode(tree.Participants[7])).
+//	    At(90*bullet.Second, bullet.RestartNode(tree.Participants[7])))
+//	w.Run(150 * bullet.Second)
+//	fmt.Println(d.Collector().MeanOver(100*bullet.Second, 150*bullet.Second, bullet.Useful))
+
+import (
+	"fmt"
+	"sort"
+
+	"bullet/internal/core"
+	"bullet/internal/epidemic"
+	"bullet/internal/metrics"
+	"bullet/internal/sim"
+	"bullet/internal/streamer"
+)
+
+// Protocol is anything deployable into a World over a distribution
+// tree. Implementations are value-ish config holders; Deploy wires the
+// protocol into the world's emulator and returns its runtime handle.
+// Deploy through World.Deploy (which tracks the deployment so
+// scenarios can reach it), not by calling this method directly.
+type Protocol interface {
+	// Name identifies the protocol (registry key, Deployment.Protocol).
+	Name() string
+	// Deploy instantiates the protocol over tree in w. Protocols that
+	// need no tree (gossip) accept nil; tree-based protocols reject it.
+	Deploy(w *World, tree *Tree) (Deployment, error)
+}
+
+// Deployment is the uniform runtime handle a deploy returns.
+type Deployment interface {
+	// Protocol returns the deploying protocol's name.
+	Protocol() string
+	// Collector returns the deployment's metrics sink.
+	Collector() *Collector
+	// Tree returns the distribution tree (shared, live — membership
+	// changes mutate it), or nil for mesh-only protocols like gossip.
+	Tree() *Tree
+	// Nodes returns the ids of live participants in sorted order.
+	Nodes() []int
+	// Live reports whether node is a current, non-crashed participant.
+	Live(node int) bool
+	// MemberEpoch counts membership changes (crashes, restarts, joins)
+	// applied so far.
+	MemberEpoch() int
+	// Crash fails node mid-run. Recovery is protocol-defined: Bullet
+	// re-parents the orphans after its failover delay and re-installs
+	// Bloom filters at live peers; the plain streamer's subtree simply
+	// starves. The source (tree root) cannot crash.
+	Crash(node int) error
+	// Restart brings a crashed node back.
+	Restart(node int) error
+	// Join admits a brand-new participant at the protocol's
+	// deterministic join point.
+	Join(node int) error
+	// Stop tears the deployment down; the world keeps running.
+	Stop()
+}
+
+// runtimeSystem is the contract every internal protocol system
+// satisfies; deployment adapts it to the public Deployment interface.
+type runtimeSystem interface {
+	Crash(node int) error
+	Restart(node int) error
+	Join(node int) error
+	Stop()
+	Live(node int) bool
+	LiveNodes() []int
+	MemberEpoch() int
+}
+
+// deployment is the stock Deployment implementation shared by the four
+// built-in protocols.
+type deployment struct {
+	name string
+	col  *Collector
+	tree *Tree // nil for gossip
+	sys  runtimeSystem
+}
+
+func (d *deployment) Protocol() string       { return d.name }
+func (d *deployment) Collector() *Collector  { return d.col }
+func (d *deployment) Tree() *Tree            { return d.tree }
+func (d *deployment) Nodes() []int           { return d.sys.LiveNodes() }
+func (d *deployment) Live(node int) bool     { return d.sys.Live(node) }
+func (d *deployment) MemberEpoch() int       { return d.sys.MemberEpoch() }
+func (d *deployment) Crash(node int) error   { return d.sys.Crash(node) }
+func (d *deployment) Restart(node int) error { return d.sys.Restart(node) }
+func (d *deployment) Join(node int) error    { return d.sys.Join(node) }
+func (d *deployment) Stop()                  { d.sys.Stop() }
+
+// Deploy instantiates p over tree and registers the deployment with
+// this world, so scenario membership actions (CrashNode, RestartNode,
+// JoinNode, ChurnNodes) reach it. This is the one generic entry point
+// every protocol deploys through; resolve registered protocols by name
+// with ProtocolByName.
+func (w *World) Deploy(p Protocol, tree *Tree) (Deployment, error) {
+	d, err := p.Deploy(w, tree)
+	if err != nil {
+		return nil, err
+	}
+	w.deployments = append(w.deployments, d)
+	return d, nil
+}
+
+// Deployments returns the deployments tracked by this world, in deploy
+// order.
+func (w *World) Deployments() []Deployment {
+	return append([]Deployment(nil), w.deployments...)
+}
+
+// Crash forwards to every deployment in this world (scenario
+// CrashNode actions land here). It succeeds if any deployment accepted
+// the operation; with no deployments it reports an error.
+func (w *World) Crash(node int) error {
+	return w.forEachDeployment("crash", func(d Deployment) error { return d.Crash(node) })
+}
+
+// Restart forwards to every deployment in this world.
+func (w *World) Restart(node int) error {
+	return w.forEachDeployment("restart", func(d Deployment) error { return d.Restart(node) })
+}
+
+// Join forwards to every deployment in this world.
+func (w *World) Join(node int) error {
+	return w.forEachDeployment("join", func(d Deployment) error { return d.Join(node) })
+}
+
+func (w *World) forEachDeployment(op string, fn func(Deployment) error) error {
+	if len(w.deployments) == 0 {
+		return fmt.Errorf("bullet: no deployment to %s in", op)
+	}
+	var firstErr error
+	ok := false
+	for _, d := range w.deployments {
+		if err := fn(d); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+		} else {
+			ok = true
+		}
+	}
+	if ok {
+		return nil
+	}
+	return firstErr
+}
+
+// ---------------------------------------------------------------------
+// Protocol registry
+// ---------------------------------------------------------------------
+
+// protocolFactories maps protocol names to default-config factories.
+var protocolFactories = map[string]func() Protocol{
+	"bullet": func() Protocol { return BulletProtocol{Config: DefaultConfig(600)} },
+	"streamer": func() Protocol {
+		return StreamerProtocol{Config: StreamConfig{
+			RateKbps: 600, PacketSize: 1500, Duration: 300 * sim.Second}}
+	},
+	"gossip": func() Protocol {
+		return GossipProtocol{Config: GossipConfig{
+			RateKbps: 600, PacketSize: 1500, Duration: 300 * sim.Second, Fanout: 5}}
+	},
+	"anti-entropy": func() Protocol {
+		return AntiEntropyProtocol{Config: AntiEntropyConfig{
+			RateKbps: 600, PacketSize: 1500, Duration: 300 * sim.Second,
+			Epoch: 20 * sim.Second, Peers: 5, Window: 2000}}
+	},
+}
+
+// RegisterProtocol adds (or replaces) a named protocol factory, so
+// external protocol implementations deploy through the same by-name
+// path as the built-ins.
+func RegisterProtocol(name string, factory func() Protocol) {
+	protocolFactories[name] = factory
+}
+
+// Protocols returns the registered protocol names in sorted order.
+func Protocols() []string {
+	out := make([]string, 0, len(protocolFactories))
+	for name := range protocolFactories {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ProtocolByName returns a default-configured instance of the named
+// protocol. Configure further by type-asserting to the concrete
+// protocol struct, or construct the struct directly.
+func ProtocolByName(name string) (Protocol, error) {
+	f, ok := protocolFactories[name]
+	if !ok {
+		return nil, fmt.Errorf("bullet: unknown protocol %q (have %v)", name, Protocols())
+	}
+	return f(), nil
+}
+
+// ---------------------------------------------------------------------
+// Built-in protocol implementations
+// ---------------------------------------------------------------------
+
+// BulletProtocol deploys Bullet itself (the §3 mesh) with the given
+// core configuration.
+type BulletProtocol struct{ Config Config }
+
+// Name implements Protocol.
+func (BulletProtocol) Name() string { return "bullet" }
+
+// Deploy implements Protocol.
+func (p BulletProtocol) Deploy(w *World, tree *Tree) (Deployment, error) {
+	if tree == nil {
+		return nil, fmt.Errorf("bullet: protocol %q needs a tree", p.Name())
+	}
+	col := metrics.NewCollector(sim.Second)
+	sys, err := core.Deploy(w.net, tree, p.Config, col)
+	if err != nil {
+		return nil, err
+	}
+	return &deployment{name: p.Name(), col: col, tree: tree, sys: sys}, nil
+}
+
+// StreamerProtocol deploys the plain tree-streaming baseline (§4.2).
+// The Config passes through verbatim; ProtocolByName("streamer")
+// returns a 600 Kbps / 300 s default.
+type StreamerProtocol struct{ Config StreamConfig }
+
+// Name implements Protocol.
+func (StreamerProtocol) Name() string { return "streamer" }
+
+// Deploy implements Protocol.
+func (p StreamerProtocol) Deploy(w *World, tree *Tree) (Deployment, error) {
+	if tree == nil {
+		return nil, fmt.Errorf("bullet: protocol %q needs a tree", p.Name())
+	}
+	col := metrics.NewCollector(sim.Second)
+	sys, err := streamer.Deploy(w.net, tree, p.Config, col)
+	if err != nil {
+		return nil, err
+	}
+	return &deployment{name: p.Name(), col: col, tree: tree, sys: sys}, nil
+}
+
+// GossipProtocol deploys the push-gossip baseline (§4.4). It needs no
+// tree: passing one only selects the source (the tree root); with a
+// nil tree the first world participant is the source.
+// ProtocolByName("gossip") returns a 600 Kbps / 300 s default.
+type GossipProtocol struct{ Config GossipConfig }
+
+// Name implements Protocol.
+func (GossipProtocol) Name() string { return "gossip" }
+
+// Deploy implements Protocol.
+func (p GossipProtocol) Deploy(w *World, tree *Tree) (Deployment, error) {
+	source := w.g.Clients[0]
+	if tree != nil {
+		source = tree.Root
+	}
+	col := metrics.NewCollector(sim.Second)
+	sys, err := epidemic.DeployGossip(w.net, w.g.Clients, source, p.Config, col)
+	if err != nil {
+		return nil, err
+	}
+	return &deployment{name: p.Name(), col: col, sys: sys}, nil
+}
+
+// AntiEntropyProtocol deploys streaming + anti-entropy recovery
+// (§4.4). ProtocolByName("anti-entropy") returns a 600 Kbps / 300 s
+// default with the paper's 20 s epoch.
+type AntiEntropyProtocol struct{ Config AntiEntropyConfig }
+
+// Name implements Protocol.
+func (AntiEntropyProtocol) Name() string { return "anti-entropy" }
+
+// Deploy implements Protocol.
+func (p AntiEntropyProtocol) Deploy(w *World, tree *Tree) (Deployment, error) {
+	if tree == nil {
+		return nil, fmt.Errorf("bullet: protocol %q needs a tree", p.Name())
+	}
+	col := metrics.NewCollector(sim.Second)
+	sys, err := epidemic.DeployAntiEntropy(w.net, tree, p.Config, col)
+	if err != nil {
+		return nil, err
+	}
+	return &deployment{name: p.Name(), col: col, tree: tree, sys: sys}, nil
+}

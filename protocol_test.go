@@ -1,0 +1,303 @@
+package bullet_test
+
+import (
+	"strings"
+	"testing"
+
+	"bullet"
+)
+
+// Every registered protocol deploys by name through the one generic
+// World.Deploy and returns a working Deployment handle.
+func TestAllProtocolsDeployByName(t *testing.T) {
+	names := bullet.Protocols()
+	want := []string{"anti-entropy", "bullet", "gossip", "streamer"}
+	if len(names) != len(want) {
+		t.Fatalf("Protocols() = %v, want %v", names, want)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("Protocols() = %v, want %v", names, want)
+		}
+	}
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			w, err := bullet.NewWorld(bullet.WorldConfig{TotalNodes: 800, Clients: 15, Seed: 21})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tree, err := w.RandomTree(4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := bullet.ProtocolByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.Name() != name {
+				t.Fatalf("Name() = %q, want %q", p.Name(), name)
+			}
+			d, err := w.Deploy(p, tree)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d.Protocol() != name {
+				t.Errorf("Deployment.Protocol() = %q, want %q", d.Protocol(), name)
+			}
+			if d.Collector() == nil {
+				t.Fatal("nil collector")
+			}
+			if got := len(d.Nodes()); got != 15 {
+				t.Errorf("Nodes() = %d ids, want 15", got)
+			}
+			if !d.Live(tree.Root) {
+				t.Error("root not live after deploy")
+			}
+			if name == "gossip" {
+				if d.Tree() != nil {
+					t.Error("gossip deployment has a tree")
+				}
+			} else if d.Tree() != tree {
+				t.Error("deployment does not expose the deployed tree")
+			}
+			w.Run(60 * bullet.Second)
+			if d.Collector().Total(bullet.Useful) == 0 {
+				t.Errorf("%s delivered nothing", name)
+			}
+			if got := w.Deployments(); len(got) != 1 || got[0] != d {
+				t.Errorf("world tracks %d deployments", len(got))
+			}
+		})
+	}
+}
+
+func TestProtocolByNameUnknown(t *testing.T) {
+	_, err := bullet.ProtocolByName("quic")
+	if err == nil || !strings.Contains(err.Error(), "unknown protocol") {
+		t.Fatalf("err = %v, want unknown protocol", err)
+	}
+}
+
+// The deprecated Deploy* wrappers still work and route through the new
+// API (their deployments are tracked by the world).
+func TestDeprecatedWrappersStillWork(t *testing.T) {
+	w, err := bullet.NewWorld(bullet.WorldConfig{TotalNodes: 800, Clients: 15, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := w.RandomTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := bullet.DefaultConfig(400)
+	cfg.Duration = 40 * bullet.Second
+	cfg.MaxSenders, cfg.MaxReceivers = 4, 4
+	sys, col, err := w.DeployBullet(tree, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys == nil || col == nil {
+		t.Fatal("wrapper returned nil system or collector")
+	}
+	w.Run(60 * bullet.Second)
+	if col.Total(bullet.Useful) == 0 {
+		t.Fatal("nothing delivered through the deprecated wrapper")
+	}
+	if deps := w.Deployments(); len(deps) != 1 || deps[0].Protocol() != "bullet" {
+		t.Fatalf("wrapper deployment not tracked: %v", deps)
+	}
+}
+
+// Crash/Restart/Join on a Bullet deployment: liveness flips, the tree
+// re-parents orphans after the failover delay, and the node comes back
+// on restart.
+func TestDeploymentCrashRestartJoin(t *testing.T) {
+	w, err := bullet.NewWorld(bullet.WorldConfig{TotalNodes: 1000, Clients: 20, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := w.RandomTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := bullet.DefaultConfig(400)
+	cfg.Start = 5 * bullet.Second
+	cfg.Duration = 100 * bullet.Second
+	cfg.MaxSenders, cfg.MaxReceivers = 4, 4
+	d, err := w.Deploy(bullet.BulletProtocol{Config: cfg}, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pick the heaviest root child so the crash actually orphans nodes.
+	victim, desc := tree.HeaviestChild(tree.Root)
+	if victim < 0 || desc < 1 {
+		t.Fatalf("degenerate tree: victim=%d desc=%d", victim, desc)
+	}
+
+	// Error cases up front.
+	if err := d.Crash(tree.Root); err == nil {
+		t.Error("crashing the source was allowed")
+	}
+	if err := d.Restart(victim); err == nil {
+		t.Error("restarting a live node was allowed")
+	}
+	if err := d.Join(victim); err == nil {
+		t.Error("joining an existing participant was allowed")
+	}
+
+	epoch0 := d.MemberEpoch()
+	w.At(30*bullet.Second, func() {
+		if err := d.Crash(victim); err != nil {
+			t.Errorf("crash: %v", err)
+		}
+		if err := d.Crash(victim); err == nil {
+			t.Error("double crash was allowed")
+		}
+	})
+	w.Run(40 * bullet.Second) // past crash + failover delay
+	if d.Live(victim) {
+		t.Error("victim still live after crash")
+	}
+	if d.MemberEpoch() <= epoch0 {
+		t.Error("member epoch did not advance on crash")
+	}
+	if tree.Contains(victim) {
+		t.Error("victim still in the tree after the failover delay")
+	}
+	if got := len(d.Nodes()); got != 19 {
+		t.Errorf("%d live nodes after crash, want 19", got)
+	}
+	// Orphans were re-parented, not dropped: the tree still spans all
+	// 19 survivors from the root.
+	if got := tree.SubtreeSize(tree.Root); got != 19 {
+		t.Errorf("tree spans %d nodes after repair, want 19", got)
+	}
+
+	w.At(60*bullet.Second, func() {
+		if err := d.Restart(victim); err != nil {
+			t.Errorf("restart: %v", err)
+		}
+	})
+	w.Run(110 * bullet.Second)
+	if !d.Live(victim) {
+		t.Error("victim not live after restart")
+	}
+	if !tree.Contains(victim) {
+		t.Error("victim not re-attached after restart")
+	}
+	if got := len(d.Nodes()); got != 20 {
+		t.Errorf("%d live nodes after restart, want 20", got)
+	}
+	// The restarted node received data again after rejoining.
+	if pts := d.Collector().NodeSeries(victim, bullet.Useful); len(pts) > 0 {
+		var post float64
+		for _, pt := range pts {
+			if pt.T >= 70 {
+				post += pt.Kbps
+			}
+		}
+		if post == 0 {
+			t.Error("restarted node received nothing after rejoin")
+		}
+	}
+}
+
+// Scenario membership actions drive the world's deployments, composing
+// with link dynamics in one schedule.
+func TestScenarioChurnActions(t *testing.T) {
+	w, err := bullet.NewWorld(bullet.WorldConfig{TotalNodes: 1000, Clients: 20, Seed: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := w.RandomTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := bullet.DefaultConfig(400)
+	cfg.Start = 5 * bullet.Second
+	cfg.Duration = 80 * bullet.Second
+	cfg.MaxSenders, cfg.MaxReceivers = 4, 4
+	d, err := w.Deploy(bullet.BulletProtocol{Config: cfg}, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, _ := tree.HeaviestChild(tree.Root)
+	w.Scenario(bullet.NewScenario().
+		At(20*bullet.Second, bullet.CrashNode(victim)).
+		At(50*bullet.Second, bullet.RestartNode(victim)))
+	w.Run(30 * bullet.Second)
+	if d.Live(victim) {
+		t.Error("scenario CrashNode did not crash the victim")
+	}
+	w.Run(90 * bullet.Second)
+	if !d.Live(victim) {
+		t.Error("scenario RestartNode did not restart the victim")
+	}
+	if d.MemberEpoch() < 2 {
+		t.Errorf("member epoch %d after crash+restart, want >= 2", d.MemberEpoch())
+	}
+}
+
+// Stop halts a deployment: no useful bytes arrive afterwards.
+func TestDeploymentStop(t *testing.T) {
+	w, err := bullet.NewWorld(bullet.WorldConfig{TotalNodes: 800, Clients: 15, Seed: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := w.RandomTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := w.Deploy(bullet.StreamerProtocol{Config: bullet.StreamConfig{
+		RateKbps: 400, PacketSize: 1500, Duration: 90 * bullet.Second,
+	}}, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.At(40*bullet.Second, d.Stop)
+	w.Run(100 * bullet.Second)
+	if before := d.Collector().MeanOver(10*bullet.Second, 40*bullet.Second, bullet.Useful); before == 0 {
+		t.Fatal("nothing delivered before Stop")
+	}
+	if after := d.Collector().MeanOver(45*bullet.Second, 100*bullet.Second, bullet.Useful); after != 0 {
+		t.Errorf("%.3f Kbps delivered after Stop, want 0", after)
+	}
+}
+
+// Two worlds with the same seed and the same churn schedule produce
+// identical results — churn preserves the determinism contract.
+func TestChurnDeterministicAcrossRuns(t *testing.T) {
+	run := func() float64 {
+		w, err := bullet.NewWorld(bullet.WorldConfig{TotalNodes: 1000, Clients: 20, Seed: 26})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree, err := w.RandomTree(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := bullet.DefaultConfig(400)
+		cfg.Start = 5 * bullet.Second
+		cfg.Duration = 80 * bullet.Second
+		cfg.MaxSenders, cfg.MaxReceivers = 4, 4
+		d, err := w.Deploy(bullet.BulletProtocol{Config: cfg}, tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		victims := tree.Participants[1:6]
+		w.Scenario(bullet.NewScenario().
+			At(25*bullet.Second, bullet.ChurnNodes(victims...)).
+			At(55*bullet.Second, bullet.RestartNode(victims[0])))
+		w.Run(90 * bullet.Second)
+		return d.Collector().MeanOver(0, 90*bullet.Second, bullet.Useful)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("identical churn runs diverged: %v vs %v", a, b)
+	}
+	if a == 0 {
+		t.Fatal("nothing delivered")
+	}
+}
