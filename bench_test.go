@@ -148,6 +148,19 @@ func BenchmarkChurnCrash(b *testing.B) {
 	})
 }
 
+// Workload benches: the same non-CBR workload disseminated by Bullet,
+// the streamer, and gossip. The completion metrics are the headline
+// numbers of the workload layer.
+
+func BenchmarkFileDist(b *testing.B) {
+	benchExperiment(b, "filedist-compare", func(b *testing.B, r *bullet.ExperimentResult) {
+		b.ReportMetric(r.Summary["bullet_first_frac"], "bullet_first_frac")
+		b.ReportMetric(r.Summary["bullet_median_completion_s"], "bullet_median_s")
+		b.ReportMetric(r.Summary["stream_median_completion_s"], "stream_median_s")
+		b.ReportMetric(r.Summary["bullet_completed_frac"], "bullet_completed")
+	})
+}
+
 func BenchmarkOvercast(b *testing.B) {
 	benchExperiment(b, "overcast", func(b *testing.B, r *bullet.ExperimentResult) {
 		b.ReportMetric(r.Summary["overcast_to_offline_ratio"], "ratio")

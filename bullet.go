@@ -47,6 +47,7 @@ import (
 	"bullet/internal/sim"
 	"bullet/internal/streamer"
 	"bullet/internal/topology"
+	"bullet/internal/workload"
 )
 
 // Re-exported core types. The aliases make the whole system usable
@@ -98,7 +99,38 @@ type (
 	ScenarioAction = scenario.Action
 	// ScenarioEnv is what scenario actions act upon.
 	ScenarioEnv = scenario.Env
+
+	// Workload is a packet-generation source: it owns which sequence
+	// numbers exist, how large they are, and when they are emitted.
+	// Every protocol config carries a Workload field (nil = CBR).
+	Workload = workload.Source
+	// WorkloadSink observes per-node first-copy deliveries.
+	WorkloadSink = workload.Sink
+	// CBRWorkload streams fixed-size packets at a constant bit rate —
+	// the default workload of every protocol.
+	CBRWorkload = workload.CBR
+	// VBRWorkload alternates deterministically between a high and a
+	// low bit rate on a fixed period (bursty streaming).
+	VBRWorkload = workload.VBR
+	// FileWorkload is the finite fountain-coded file-distribution
+	// workload of §2.1: sequence numbers double as encoded-symbol IDs
+	// and a node completes at (1+ε)·K distinct receipts, recorded by
+	// Collector.CompletionCDF.
+	FileWorkload = workload.File
+	// MultiRateWorkload streams at a rate that changes on a schedule;
+	// see NewMultiRateWorkload.
+	MultiRateWorkload = workload.MultiRate
+	// WorkloadRateStep is one entry of a MultiRateWorkload schedule.
+	WorkloadRateStep = workload.RateStep
 )
+
+// NewMultiRateWorkload builds a schedule-driven source: fixed-size
+// packets whose emission rate follows the given steps (the first
+// step's rate also covers any earlier time). Steps may also be
+// appended mid-run from a scenario via SetRateAt.
+func NewMultiRateWorkload(packetSize int, steps ...WorkloadRateStep) *MultiRateWorkload {
+	return workload.NewMultiRate(packetSize, steps...)
+}
 
 // Measurement kinds.
 const (

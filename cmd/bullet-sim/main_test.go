@@ -53,6 +53,18 @@ func TestUnknownScaleExits1(t *testing.T) {
 	}
 }
 
+// A near-miss scale name gets a did-you-mean on stderr, through the
+// same suggestion machinery as experiment ids.
+func TestScaleTypoSuggestsNearest(t *testing.T) {
+	code, _, errb := runCLI(t, "-experiment", "table1", "-scale", "smal")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errb, `did you mean "small"`) {
+		t.Errorf("stderr %q missing scale suggestion", errb)
+	}
+}
+
 // A comma-separated list (with stray whitespace) runs every entry and
 // prints results in input order.
 func TestCommaSeparatedListRunsInOrder(t *testing.T) {
@@ -112,8 +124,8 @@ func TestListPrintsOnePerLine(t *testing.T) {
 		t.Fatalf("exit %d, want 0", code)
 	}
 	lines := strings.Split(strings.TrimSpace(out), "\n")
-	if len(lines) != 20 {
-		t.Fatalf("%d lines, want 20 (one per experiment)", len(lines))
+	if len(lines) != 22 {
+		t.Fatalf("%d lines, want 22 (one per experiment)", len(lines))
 	}
 	for i := 1; i < len(lines); i++ {
 		if lines[i-1] >= lines[i] {

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -18,19 +19,32 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its dependencies injected: argv without the program
+// name, and the two output streams. It returns the process exit code.
+// Output is a pure function of the flags: generation draws only on the
+// seeded topology RNG.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("topogen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		nodes   = flag.Int("nodes", 20000, "approximate total topology nodes")
-		clients = flag.Int("clients", 1000, "overlay participant (client) nodes")
-		bwName  = flag.String("bandwidth", "medium", "low | medium | high (Table 1)")
-		loss    = flag.Bool("loss", false, "apply the paper's lossy-network profile (§4.5)")
-		seed    = flag.Int64("seed", 1, "generator seed")
-		dump    = flag.String("dump", "", "write all links as TSV to this file")
+		nodes   = fs.Int("nodes", 20000, "approximate total topology nodes")
+		clients = fs.Int("clients", 1000, "overlay participant (client) nodes")
+		bwName  = fs.String("bandwidth", "medium", "low | medium | high (Table 1)")
+		loss    = fs.Bool("loss", false, "apply the paper's lossy-network profile (§4.5)")
+		seed    = fs.Int64("seed", 1, "generator seed")
+		dump    = fs.String("dump", "", "write all links as TSV to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
 
 	bw, err := topology.ProfileByName(*bwName)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "topogen:", err)
+		return 1
 	}
 	cfg := topology.Sized(*nodes, *clients, bw)
 	cfg.Seed = *seed
@@ -39,12 +53,13 @@ func main() {
 	}
 	g, err := topology.Generate(cfg)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "topogen:", err)
+		return 1
 	}
 
-	fmt.Printf("nodes\t%d\n", len(g.Nodes))
-	fmt.Printf("links\t%d\n", len(g.Links))
-	fmt.Printf("clients\t%d\n", len(g.Clients))
+	fmt.Fprintf(stdout, "nodes\t%d\n", len(g.Nodes))
+	fmt.Fprintf(stdout, "links\t%d\n", len(g.Links))
+	fmt.Fprintf(stdout, "clients\t%d\n", len(g.Clients))
 	counts := g.LinkClassCounts()
 	classes := []topology.LinkClass{topology.ClientStub, topology.StubStub, topology.TransitStub, topology.TransitTransit}
 	for _, cls := range classes {
@@ -63,7 +78,7 @@ func main() {
 		if len(kbps) == 0 {
 			continue
 		}
-		fmt.Printf("%s\tcount=%d\tmin=%.0fKbps\tmedian=%.0fKbps\tmax=%.0fKbps\tlossy=%d\n",
+		fmt.Fprintf(stdout, "%s\tcount=%d\tmin=%.0fKbps\tmedian=%.0fKbps\tmax=%.0fKbps\tlossy=%d\n",
 			cls, counts[cls], kbps[0], kbps[len(kbps)/2], kbps[len(kbps)-1], lossy)
 	}
 
@@ -75,12 +90,13 @@ func main() {
 			unreachable++
 		}
 	}
-	fmt.Printf("unreachable_clients\t%d\n", unreachable)
+	fmt.Fprintf(stdout, "unreachable_clients\t%d\n", unreachable)
 
 	if *dump != "" {
 		f, err := os.Create(*dump)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "topogen:", err)
+			return 1
 		}
 		fmt.Fprintln(f, "id\ta\tb\tclass\tkbps\tdelay_ms\tloss")
 		for i := range g.Links {
@@ -89,13 +105,10 @@ func main() {
 				l.ID, l.A, l.B, l.Class, l.Kbps(), float64(l.Delay)/1e6, l.Loss)
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "topogen:", err)
+			return 1
 		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", *dump)
+		fmt.Fprintf(stderr, "wrote %s\n", *dump)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "topogen:", err)
-	os.Exit(1)
+	return 0
 }

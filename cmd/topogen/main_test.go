@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// small keeps generation fast: a few hundred nodes is plenty to
+// exercise every link class and the reachability check.
+var small = []string{"-nodes", "300", "-clients", "10"}
+
+func runArgs(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code = run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestDeterministicForFixedSeed(t *testing.T) {
+	args := append(append([]string(nil), small...), "-bandwidth", "low", "-seed", "7")
+	code1, out1, _ := runArgs(t, args...)
+	code2, out2, _ := runArgs(t, args...)
+	if code1 != 0 || code2 != 0 {
+		t.Fatalf("exit codes %d/%d, want 0/0", code1, code2)
+	}
+	if out1 != out2 {
+		t.Fatal("same seed produced different output")
+	}
+	// A different seed yields a different topology report.
+	_, out3, _ := runArgs(t, append(append([]string(nil), small...), "-bandwidth", "low", "-seed", "8")...)
+	if out1 == out3 {
+		t.Fatal("different seeds produced identical output")
+	}
+}
+
+func TestReportShape(t *testing.T) {
+	code, out, stderr := runArgs(t, append(append([]string(nil), small...), "-loss")...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{"nodes\t", "links\t", "clients\t10", "Client-Stub", "unreachable_clients\t0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// -loss must actually mark links lossy: the report changes.
+	_, noLoss, _ := runArgs(t, small...)
+	if out == noLoss {
+		t.Error("-loss produced the same report as the lossless profile")
+	}
+}
+
+func TestUnknownBandwidthFails(t *testing.T) {
+	code, _, stderr := runArgs(t, "-bandwidth", "enormous")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "enormous") {
+		t.Errorf("stderr %q does not name the bad profile", stderr)
+	}
+}
+
+func TestBadFlagFails(t *testing.T) {
+	code, _, stderr := runArgs(t, "-no-such-flag")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "no-such-flag") {
+		t.Errorf("stderr %q does not mention the flag", stderr)
+	}
+}
+
+func TestDumpWritesLinkTSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "links.tsv")
+	args := append(append([]string(nil), small...), "-seed", "3", "-dump", path)
+	code, _, stderr := runArgs(t, args...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "wrote "+path) {
+		t.Errorf("stderr %q missing write confirmation", stderr)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if lines[0] != "id\ta\tb\tclass\tkbps\tdelay_ms\tloss" {
+		t.Fatalf("dump header %q", lines[0])
+	}
+	if len(lines) < 100 {
+		t.Errorf("dump has only %d lines; expected one per link", len(lines))
+	}
+	if got := strings.Count(lines[1], "\t"); got != 6 {
+		t.Errorf("dump row has %d tabs, want 6: %q", got, lines[1])
+	}
+}

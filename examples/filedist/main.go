@@ -1,9 +1,12 @@
 // File distribution with LT codes: the digital-fountain use case the
-// paper motivates (§2.1). A 1 MB file is LT-encoded; encoded symbols
-// are streamed through the Bullet mesh; every receiver decodes the
-// file as soon as it has collected any (1+eps)k symbols — no receiver
-// needs any specific packet, so the mesh's disjoint delivery never has
-// a "last missing byte" problem.
+// paper motivates (§2.1), on the first-class Workload API. A 1 MB file
+// is LT-encoded; the FileWorkload streams encoded symbols through the
+// Bullet mesh with the stream sequence number doubling as the symbol
+// ID, so any (1+eps)k distinct receipts decode the file — no receiver
+// needs any specific packet, and the mesh's disjoint delivery never
+// has a "last missing byte" problem. A WorkloadSink records the exact
+// symbol IDs each node obtained, and the metrics collector reports the
+// per-node completion-time CDF.
 //
 //	go run ./examples/filedist
 package main
@@ -17,6 +20,17 @@ import (
 	"bullet"
 	"bullet/internal/codec"
 )
+
+// symbolRecorder is a WorkloadSink: it keeps, per node, the IDs of the
+// symbols delivered there (first copies only), so decoding below uses
+// the genuinely received symbol set.
+type symbolRecorder struct {
+	got map[int][]uint64
+}
+
+func (r *symbolRecorder) Deliver(now bullet.Time, node int, seq uint64) {
+	r.got[node] = append(r.got[node], seq)
+}
 
 func main() {
 	const (
@@ -35,8 +49,9 @@ func main() {
 	k := enc.K()
 	fmt.Printf("file: %d bytes -> k=%d source blocks of %d bytes\n", fileSize, k, blockSize)
 
-	// Deploy Bullet; the stream sequence number doubles as the LT
-	// symbol ID, so any received sequence is a usable symbol.
+	// Deploy Bullet with a FileWorkload: the workload layer owns
+	// packet generation, completion is (1+eps)k distinct symbols, and
+	// the sink observes every first-copy delivery.
 	w, err := bullet.NewWorld(bullet.WorldConfig{
 		TotalNodes: 1500, Clients: 30,
 		Bandwidth: bullet.MediumBandwidth, Seed: 11,
@@ -48,20 +63,24 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	sink := &symbolRecorder{got: make(map[int][]uint64)}
 	cfg := bullet.DefaultConfig(800) // 800 Kbps of encoded symbols
 	cfg.PacketSize = blockSize
 	cfg.Start = 10 * bullet.Second
 	cfg.Duration = 280 * bullet.Second
 	cfg.MaxSenders, cfg.MaxReceivers = 4, 4
-	_, col, err := w.DeployBullet(tree, cfg)
+	cfg.Workload = bullet.FileWorkload{
+		RateKbps: 800, PacketSize: blockSize, K: k, Overhead: 0.15,
+	}
+	cfg.Sink = sink
+	d, err := w.Deploy(bullet.BulletProtocol{Config: cfg}, tree)
 	if err != nil {
 		log.Fatal(err)
 	}
 	w.Run(300 * bullet.Second)
 
-	// Decode at every receiver from the sequences it obtained. The
-	// collector tells us how many distinct packets each node received;
-	// reconstruct that per-node symbol budget and decode.
+	// Decode at every receiver from the symbol IDs it actually
+	// obtained.
 	fmt.Printf("\nper-node decode results (need ~%d symbols):\n", k)
 	decoded, total := 0, 0
 	for _, node := range w.Participants() {
@@ -69,18 +88,14 @@ func main() {
 			continue
 		}
 		total++
-		// Symbols received = distinct useful packets; their IDs are the
-		// stream sequences delivered to this node in order.
-		var got uint64
-		for _, pt := range col.NodeSeries(node, bullet.Useful) {
-			got += uint64(pt.Kbps * 1000 / 8 / float64(blockSize+24)) // packets in this second
-		}
 		dec, err := codec.NewDecoder(k, blockSize, ltSeed, codec.DefaultLTParams)
 		if err != nil {
 			log.Fatal(err)
 		}
-		for id := uint64(0); id < got && !dec.Done(); id++ {
-			dec.Add(enc.Symbol(id))
+		for _, id := range sink.got[node] {
+			if dec.Add(enc.Symbol(id)) {
+				break
+			}
 		}
 		if dec.Done() {
 			out, _ := dec.Payload()
@@ -91,7 +106,17 @@ func main() {
 		}
 	}
 	fmt.Printf("  %d/%d receivers fully decoded the %d-byte file\n", decoded, total, fileSize)
+
+	// The collector tracked completion automatically (FileWorkload is
+	// finite): the CDF is each node's time to its (1+eps)k'th distinct
+	// symbol.
+	cdf := d.Collector().CompletionCDF()
+	if len(cdf) > 0 {
+		fmt.Printf("  completion times: first %.1fs, median %.1fs, last %.1fs (%d/%d nodes)\n",
+			cdf[0], cdf[len(cdf)/2], cdf[len(cdf)-1], len(cdf), total)
+	}
 	fmt.Printf("  mean received bandwidth: %.0f Kbps\n",
-		col.MeanOver(60*bullet.Second, 300*bullet.Second, bullet.Useful))
-	fmt.Printf("  LT reception overhead at k=%d: decode needs ~(1+eps)k symbols, eps~0.05-0.3\n", k)
+		d.Collector().MeanOver(60*bullet.Second, 300*bullet.Second, bullet.Useful))
+	fmt.Printf("  workload: %s, completion target %d distinct symbols\n",
+		d.Workload().Name(), d.Collector().CompletionTarget())
 }

@@ -5,6 +5,7 @@ import (
 
 	"bullet/internal/ransub"
 	"bullet/internal/sim"
+	"bullet/internal/workload"
 )
 
 // Config controls a Bullet deployment. Defaults mirror the paper's
@@ -16,6 +17,14 @@ type Config struct {
 	StreamRateKbps float64
 	// PacketSize is the application payload per packet (bytes).
 	PacketSize int
+	// Workload overrides the default constant-bit-rate source: packet
+	// generation (sequence, size, emission time) is delegated to it.
+	// nil streams CBR at StreamRateKbps/PacketSize — byte-identical to
+	// the pre-workload-layer pump.
+	Workload workload.Source
+	// Sink, when set, observes every per-node first-copy delivery
+	// (duplicates never reach it).
+	Sink workload.Sink
 	// Start is when the source begins streaming (RanSub runs from 0).
 	Start sim.Time
 	// Duration is how long the source streams.
@@ -98,7 +107,7 @@ func DefaultConfig(rateKbps float64) Config {
 
 // Validate fills defaults and rejects impossible settings.
 func (c *Config) Validate() error {
-	if c.StreamRateKbps <= 0 {
+	if c.Workload == nil && c.StreamRateKbps <= 0 {
 		return fmt.Errorf("core: stream rate %v Kbps", c.StreamRateKbps)
 	}
 	if c.PacketSize <= 0 {

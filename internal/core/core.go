@@ -22,6 +22,7 @@ import (
 	"bullet/internal/sim"
 	"bullet/internal/sketch"
 	"bullet/internal/transport"
+	"bullet/internal/workload"
 	"bullet/internal/workset"
 )
 
@@ -149,6 +150,7 @@ type System struct {
 	tree  *overlay.Tree
 	col   *metrics.Collector
 	perms *sketch.Permutations
+	src   workload.Source
 	Nodes map[int]*Node
 
 	// Membership runtime state (see membership.go). dead marks crashed
@@ -174,9 +176,11 @@ func Deploy(net *netem.Network, tree *overlay.Tree, cfg Config, col *metrics.Col
 		tree:  tree,
 		col:   col,
 		perms: sketch.NewPermutations(sketch.DefaultEntries, net.Engine().Seed()^0x6d77),
+		src:   workload.Default(cfg.Workload, cfg.StreamRateKbps, cfg.PacketSize),
 		Nodes: make(map[int]*Node),
 		dead:  make(map[int]bool),
 	}
+	workload.InstallCompletion(sys.src, col)
 	for _, id := range tree.Participants {
 		if err := sys.addNode(id); err != nil {
 			return nil, err
@@ -250,26 +254,19 @@ func (sys *System) addNode(id int) error {
 	return nil
 }
 
-// scheduleSource drives the root's packet generation.
+// scheduleSource drives the root's packet generation through the
+// shared workload pump: every generated packet enters the Figure 5
+// relay path via ingest, whatever source produced it.
 func (sys *System) scheduleSource(root *Node) {
-	bytesPerSec := sys.cfg.StreamRateKbps * 1000 / 8
-	interval := sim.Duration(float64(sys.cfg.PacketSize) / bytesPerSec * float64(sim.Second))
-	if interval < sim.Microsecond {
-		interval = sim.Microsecond
-	}
 	end := sys.cfg.Start + sys.cfg.Duration
-	var seq uint64
-	var pump func()
-	pump = func() {
-		if sys.eng.Now() >= end || root.ep.Failed() || sys.stopped {
-			return
-		}
-		root.ingest(seq, sys.cfg.PacketSize)
-		seq++
-		sys.eng.ScheduleAfter(interval, pump)
-	}
-	sys.eng.Schedule(sys.cfg.Start, pump)
+	workload.Pump(sys.eng, sys.src, sys.cfg.Start,
+		func() bool { return sys.eng.Now() >= end || root.ep.Failed() || sys.stopped },
+		func(seq uint64, size int) { root.ingest(seq, size) })
 }
+
+// Workload returns the source driving this deployment's packet
+// generation (the configured one, or the default CBR).
+func (sys *System) Workload() workload.Source { return sys.src }
 
 // Fail crashes node id (endpoint down, all timers inert).
 func (sys *System) Fail(id int) {
@@ -340,6 +337,9 @@ func (n *Node) onData(from int, seq uint64, size int) {
 		si.usefulBytes += uint64(size)
 	}
 	col.Add(now, n.id, metrics.Useful, size)
+	if s := n.sys.cfg.Sink; s != nil {
+		s.Deliver(now, n.id, seq)
+	}
 	// Every first-copy packet — from the parent stream or recovered
 	// from a peer — is relayed through the Figure 5 routine: a parent
 	// that recovers a packet serves it to its children (§3.2).

@@ -27,6 +27,7 @@ import (
 	"bullet/internal/overlay"
 	"bullet/internal/sim"
 	"bullet/internal/transport"
+	"bullet/internal/workload"
 	"bullet/internal/workset"
 )
 
@@ -39,6 +40,11 @@ type GossipConfig struct {
 	// Fanout is how many random peers each packet is pushed to
 	// (paper: 5 performs best with lowest overhead).
 	Fanout int
+	// Workload overrides the default constant-bit-rate source (nil
+	// streams CBR at RateKbps/PacketSize).
+	Workload workload.Source
+	// Sink, when set, observes every per-node first-copy delivery.
+	Sink workload.Sink
 }
 
 type gossipNode struct {
@@ -56,6 +62,7 @@ type GossipSystem struct {
 	cfg          GossipConfig
 	col          *metrics.Collector
 	eng          *sim.Engine
+	src          workload.Source
 
 	net     *netem.Network
 	source  int
@@ -73,7 +80,7 @@ func DeployGossip(net *netem.Network, participants []int, source int, cfg Gossip
 	if cfg.PacketSize <= 0 {
 		cfg.PacketSize = 1500
 	}
-	if cfg.RateKbps <= 0 {
+	if cfg.Workload == nil && cfg.RateKbps <= 0 {
 		return nil, fmt.Errorf("epidemic: rate %v", cfg.RateKbps)
 	}
 	sys := &GossipSystem{
@@ -85,7 +92,9 @@ func DeployGossip(net *netem.Network, participants []int, source int, cfg Gossip
 		net:          net,
 		source:       source,
 		dead:         make(map[int]bool),
+		src:          workload.Default(cfg.Workload, cfg.RateKbps, cfg.PacketSize),
 	}
+	workload.InstallCompletion(sys.src, col)
 	for _, id := range participants {
 		n := &gossipNode{
 			ep:    transport.NewEndpoint(net, id),
@@ -99,24 +108,21 @@ func DeployGossip(net *netem.Network, participants []int, source int, cfg Gossip
 		n.ep.OnData(func(from int, seq uint64, size int) { sys.onData(id, from, seq, size) })
 		sys.Nodes[id] = n
 	}
-	bytesPerSec := cfg.RateKbps * 1000 / 8
-	interval := sim.Duration(float64(cfg.PacketSize) / bytesPerSec * float64(sim.Second))
+	// Source pump: packet generation is owned by the workload layer.
 	end := cfg.Start + cfg.Duration
-	var seq uint64
-	src := sys.Nodes[source]
-	var pump func()
-	pump = func() {
-		if sys.eng.Now() >= end || sys.stopped {
-			return
-		}
-		src.seen.Add(seq)
-		sys.push(src, seq, cfg.PacketSize)
-		seq++
-		sys.eng.ScheduleAfter(interval, pump)
-	}
-	sys.eng.Schedule(cfg.Start, pump)
+	srcNode := sys.Nodes[source]
+	workload.Pump(sys.eng, sys.src, cfg.Start,
+		func() bool { return sys.eng.Now() >= end || sys.stopped },
+		func(seq uint64, size int) {
+			srcNode.seen.Add(seq)
+			sys.push(srcNode, seq, size)
+		})
 	return sys, nil
 }
+
+// Workload returns the source driving this deployment's packet
+// generation (the configured one, or the default CBR).
+func (sys *GossipSystem) Workload() workload.Source { return sys.src }
 
 // push forwards a packet to Fanout random peers over per-peer TFRC
 // flows (created lazily and reused).
@@ -145,6 +151,9 @@ func (sys *GossipSystem) onData(id, from int, seq uint64, size int) {
 	sys.col.Add(now, id, metrics.Raw, size)
 	if n.seen.Add(seq) {
 		sys.col.Add(now, id, metrics.Useful, size)
+		if s := sys.cfg.Sink; s != nil {
+			s.Deliver(now, id, seq)
+		}
 		sys.push(n, seq, size)
 	} else {
 		sys.col.Add(now, id, metrics.Duplicate, size)
@@ -247,6 +256,11 @@ type AntiEntropyConfig struct {
 	Peers int
 	// Window bounds the FIFO Bloom filter population.
 	Window uint64
+	// Workload overrides the default constant-bit-rate source (nil
+	// streams CBR at RateKbps/PacketSize).
+	Workload workload.Source
+	// Sink, when set, observes every per-node first-copy delivery.
+	Sink workload.Sink
 }
 
 // aeDigestMsg carries a node's FIFO Bloom digest to a random peer.
@@ -280,6 +294,7 @@ type AntiEntropySystem struct {
 	cfg          AntiEntropyConfig
 	col          *metrics.Collector
 	eng          *sim.Engine
+	src          workload.Source
 
 	net        *netem.Network
 	dead       map[int]bool
@@ -303,7 +318,7 @@ func DeployAntiEntropy(net *netem.Network, tree *overlay.Tree, cfg AntiEntropyCo
 	if cfg.Window == 0 {
 		cfg.Window = 2000
 	}
-	if cfg.RateKbps <= 0 {
+	if cfg.Workload == nil && cfg.RateKbps <= 0 {
 		return nil, fmt.Errorf("epidemic: rate %v", cfg.RateKbps)
 	}
 	sys := &AntiEntropySystem{
@@ -315,7 +330,9 @@ func DeployAntiEntropy(net *netem.Network, tree *overlay.Tree, cfg AntiEntropyCo
 		eng:          net.Engine(),
 		net:          net,
 		dead:         make(map[int]bool),
+		src:          workload.Default(cfg.Workload, cfg.RateKbps, cfg.PacketSize),
 	}
+	workload.InstallCompletion(sys.src, col)
 	for _, id := range tree.Participants {
 		parent := -1
 		if p, ok := tree.Parent(id); ok {
@@ -347,29 +364,26 @@ func DeployAntiEntropy(net *netem.Network, tree *overlay.Tree, cfg AntiEntropyCo
 		jitter := sim.Duration(n.rng.Int63n(int64(cfg.Epoch)))
 		sys.eng.Schedule(cfg.Epoch+jitter, n.roundFn)
 	}
-	bytesPerSec := cfg.RateKbps * 1000 / 8
-	interval := sim.Duration(float64(cfg.PacketSize) / bytesPerSec * float64(sim.Second))
-	end := cfg.Start + cfg.Duration
 	if sys.joinDegree = tree.MaxDegree(); sys.joinDegree < 2 {
 		sys.joinDegree = 2
 	}
-	var seq uint64
+	// Source pump: packet generation is owned by the workload layer.
+	end := cfg.Start + cfg.Duration
 	root := sys.Nodes[tree.Root]
-	var pump func()
-	pump = func() {
-		if sys.eng.Now() >= end || sys.stopped {
-			return
-		}
-		root.seen.Add(seq)
-		for _, c := range root.children {
-			root.flows[c].TrySend(seq, cfg.PacketSize)
-		}
-		seq++
-		sys.eng.ScheduleAfter(interval, pump)
-	}
-	sys.eng.Schedule(cfg.Start, pump)
+	workload.Pump(sys.eng, sys.src, cfg.Start,
+		func() bool { return sys.eng.Now() >= end || sys.stopped },
+		func(seq uint64, size int) {
+			root.seen.Add(seq)
+			for _, c := range root.children {
+				root.flows[c].TrySend(seq, size)
+			}
+		})
 	return sys, nil
 }
+
+// Workload returns the source driving this deployment's packet
+// generation (the configured one, or the default CBR).
+func (sys *AntiEntropySystem) Workload() workload.Source { return sys.src }
 
 func (sys *AntiEntropySystem) onData(id, from int, seq uint64, size int) {
 	n := sys.Nodes[id]
@@ -383,6 +397,9 @@ func (sys *AntiEntropySystem) onData(id, from int, seq uint64, size int) {
 		return
 	}
 	sys.col.Add(now, id, metrics.Useful, size)
+	if s := sys.cfg.Sink; s != nil {
+		s.Deliver(now, id, seq)
+	}
 	for _, c := range n.children {
 		n.flows[c].TrySend(seq, size)
 	}

@@ -48,7 +48,11 @@ var (
 		Start: 100 * sim.Second, Duration: 300 * sim.Second, RunUntil: 400 * sim.Second, TreeDegree: 10}
 )
 
-// ScaleByName resolves a scale name.
+// ScaleNames returns the recognized scale names.
+func ScaleNames() []string { return []string{"small", "medium", "paper"} }
+
+// ScaleByName resolves a scale name. Unknown names yield an
+// UnknownScaleError carrying a did-you-mean suggestion.
 func ScaleByName(name string) (Scale, error) {
 	switch name {
 	case "small":
@@ -58,7 +62,7 @@ func ScaleByName(name string) (Scale, error) {
 	case "paper":
 		return PaperScale, nil
 	}
-	return Scale{}, fmt.Errorf("experiments: unknown scale %q", name)
+	return Scale{}, &UnknownScaleError{Name: name, Suggestion: Nearest(name, ScaleNames())}
 }
 
 // Result is one experiment's output.
@@ -224,6 +228,13 @@ var Registry = map[string]Runner{
 	"churn-crashheal": ChurnCrashHeal,
 	"churn-rolling":   ChurnRolling,
 	"churn-join":      ChurnJoin,
+
+	// Workload comparisons (see workloads.go): the identical non-CBR
+	// workload — fountain-coded file distribution with completion
+	// CDFs, or a bursty VBR stream — disseminated by Bullet, the plain
+	// streamer, and push gossip.
+	"filedist-compare": FileDistCompare,
+	"vbr-stream":       VBRStream,
 }
 
 // Names returns registry keys in a stable order.

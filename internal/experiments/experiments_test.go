@@ -25,7 +25,8 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "fig6", "fig7", "fig8", "fig9", "fig10",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "overcast",
 		"dyn-bottleneck", "dyn-partition", "dyn-flashcrowd", "dyn-oscillate",
-		"churn-crash25", "churn-crashheal", "churn-rolling", "churn-join"}
+		"churn-crash25", "churn-crashheal", "churn-rolling", "churn-join",
+		"filedist-compare", "vbr-stream"}
 	for _, id := range want {
 		if Registry[id] == nil {
 			t.Fatalf("registry missing %q", id)

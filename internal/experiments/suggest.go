@@ -17,20 +17,41 @@ func (e *UnknownExperimentError) Error() string {
 	return fmt.Sprintf("experiments: unknown experiment %q", e.ID)
 }
 
+// UnknownScaleError reports an unrecognized scale name, carrying the
+// nearest recognized name when one is plausibly close. Surfaced on
+// bullet-sim stderr for -scale typos.
+type UnknownScaleError struct {
+	Name       string
+	Suggestion string
+}
+
+func (e *UnknownScaleError) Error() string {
+	if e.Suggestion != "" {
+		return fmt.Sprintf("experiments: unknown scale %q (did you mean %q?)", e.Name, e.Suggestion)
+	}
+	return fmt.Sprintf("experiments: unknown scale %q (have %v)", e.Name, ScaleNames())
+}
+
 // Suggest returns the registered experiment id nearest to id by
-// Levenshtein distance, or "" when nothing is within a third of the
-// id's length (rounded up, minimum 2) — far-off typos get no
-// misleading guess. Ties break to the lexicographically first id, so
-// the suggestion is deterministic.
-func Suggest(id string) string {
+// Levenshtein distance, or "" when nothing is plausibly close.
+func Suggest(id string) string { return Nearest(id, Names()) }
+
+// Nearest returns the candidate nearest to name by Levenshtein
+// distance, or "" when nothing is within a third of the name's length
+// (rounded up, minimum 2) — far-off typos get no misleading guess.
+// Ties break to the first candidate, so with sorted candidates the
+// suggestion is deterministic. This is the shared did-you-mean engine
+// behind experiment ids, scale names (ScaleByName), and protocol names
+// (bullet.ProtocolByName).
+func Nearest(name string, candidates []string) string {
 	best, bestDist := "", -1
-	for _, cand := range Names() {
-		d := editDistance(id, cand)
+	for _, cand := range candidates {
+		d := editDistance(name, cand)
 		if bestDist < 0 || d < bestDist {
 			best, bestDist = cand, d
 		}
 	}
-	maxDist := (len(id) + 2) / 3
+	maxDist := (len(name) + 2) / 3
 	if maxDist < 2 {
 		maxDist = 2
 	}

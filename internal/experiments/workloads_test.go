@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"bullet/internal/workload"
+)
+
+// The acceptance regression for the workload layer: under the
+// identical fountain-coded file workload, Bullet completes the file on
+// at least 95% of nodes before the plain streamer does — the mesh
+// turns tree leftovers into completion-time wins, not just bandwidth.
+func TestFileDistBulletCompletesBeforeStreamer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three full small-scale runs; skipped in -short")
+	}
+	r, err := FileDistCompare(Small, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.Summary
+	if frac := s["bullet_first_frac"]; frac < 0.95 {
+		t.Errorf("bullet completes first on %.3f of nodes, want >= 0.95", frac)
+	}
+	if frac := s["bullet_completed_frac"]; frac < 0.95 {
+		t.Errorf("bullet completed the file on only %.3f of receivers", frac)
+	}
+	// The per-node completion-time CDF is the experiment's product:
+	// one entry per completed receiver, monotone non-decreasing.
+	if len(r.CDF) == 0 {
+		t.Fatal("result carries no completion CDF")
+	}
+	if want := int(s["bullet_completed_frac"] * (float64(Small.Clients) - 1)); len(r.CDF) != want {
+		t.Errorf("CDF has %d entries, completed_frac implies %d", len(r.CDF), want)
+	}
+	for i := 1; i < len(r.CDF); i++ {
+		if r.CDF[i] < r.CDF[i-1] {
+			t.Fatalf("completion CDF not sorted at %d: %v < %v", i, r.CDF[i], r.CDF[i-1])
+		}
+	}
+	// Completions happen while the stream runs, not at the edges.
+	if r.CDF[0] <= Small.Start.ToSeconds() {
+		t.Errorf("first completion at %.1fs precedes the stream start", r.CDF[0])
+	}
+	if last := r.CDF[len(r.CDF)-1]; last > Small.RunUntil.ToSeconds() {
+		t.Errorf("last completion at %.1fs is after the run end", last)
+	}
+}
+
+// Shape checks for the VBR comparison: all three series exist, phase
+// summaries are sane, and Bullet beats the plain streamer overall
+// under the identical bursty source.
+func TestVBRStreamShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three full small-scale runs; skipped in -short")
+	}
+	r, err := VBRStream(Small, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, label := range []string{"bullet", "stream", "gossip"} {
+		if len(r.Series[label+"_useful"]) == 0 {
+			t.Fatalf("missing %s_useful series", label)
+		}
+		if r.Summary[label+"_on_kbps"] <= 0 {
+			t.Errorf("%s_on_kbps = %v, want > 0", label, r.Summary[label+"_on_kbps"])
+		}
+	}
+	if b, s := r.Summary["bullet_overall_kbps"], r.Summary["stream_overall_kbps"]; b <= s {
+		t.Errorf("bullet overall %.1f Kbps not above streamer %.1f under VBR", b, s)
+	}
+	if !strings.Contains(r.Name, "VBR") {
+		t.Errorf("unexpected result name %q", r.Name)
+	}
+}
+
+// A FileWorkload on the registry path arms completion tracking
+// through the public Deployment API; CBR leaves it off. (Cheap: no
+// simulation run, just deploy-time wiring.)
+func TestFileWorkloadSizing(t *testing.T) {
+	wl := fileWorkloadFor(Small)
+	// A quarter of the stream's emission budget, never degenerate.
+	if wl.K < 50 {
+		t.Fatalf("file k = %d, want >= 50", wl.K)
+	}
+	budget := Small.Duration.ToSeconds() * defaultRateKbps * 1000 / 8 / 1500
+	if float64(wl.Target()) > budget/2 {
+		t.Errorf("completion target %d exceeds half the emission budget %.0f", wl.Target(), budget)
+	}
+	if wl.Target() <= uint64(wl.K) {
+		t.Errorf("target %d must exceed k=%d (reception overhead)", wl.Target(), wl.K)
+	}
+}
+
+func TestNearestAndScaleSuggestions(t *testing.T) {
+	// The generic engine behind experiment, scale, and protocol
+	// suggestions.
+	if got := Nearest("smal", ScaleNames()); got != "small" {
+		t.Errorf("Nearest(smal) = %q, want small", got)
+	}
+	if got := Nearest("qqqqqq", ScaleNames()); got != "" {
+		t.Errorf("Nearest(far-off) = %q, want no suggestion", got)
+	}
+	_, err := ScaleByName("mediun")
+	use, ok := err.(*UnknownScaleError)
+	if !ok {
+		t.Fatalf("ScaleByName error type %T, want *UnknownScaleError", err)
+	}
+	if use.Suggestion != "medium" {
+		t.Errorf("scale suggestion %q, want medium", use.Suggestion)
+	}
+	if !strings.Contains(err.Error(), `did you mean "medium"`) {
+		t.Errorf("error %q missing did-you-mean", err)
+	}
+	// Suggest keeps working for experiment ids via the same engine.
+	if got := Suggest("filedist-compar"); got != "filedist-compare" {
+		t.Errorf("Suggest(filedist-compar) = %q", got)
+	}
+}
+
+// Compile-time check that the experiment workloads satisfy the source
+// contract used by the registry runners.
+var (
+	_ workload.Source    = workload.File{}
+	_ workload.Completer = workload.File{}
+	_ workload.Source    = workload.VBR{}
+)

@@ -55,6 +55,12 @@ func (k Kind) String() string {
 
 type nodeSeries struct {
 	buckets [numKinds][]uint64
+
+	// Completion tracking (armed by SetCompletionTarget): distinct
+	// useful packets received, and when the count hit the target.
+	usefulPkts  uint64
+	completedAt sim.Time
+	completed   bool
 }
 
 // Collector accumulates byte counts into fixed-width time buckets.
@@ -62,6 +68,10 @@ type Collector struct {
 	bucket sim.Duration
 	nodes  map[int]*nodeSeries
 	maxIdx int
+
+	// target is the distinct-packet count at which a node completes a
+	// finite workload (0 = streaming, no completion semantics).
+	target uint64
 }
 
 // NewCollector creates a collector with the given bucket width
@@ -84,12 +94,67 @@ func (c *Collector) Track(node int) {
 	}
 }
 
+// SetCompletionTarget arms per-node completion tracking: a node
+// completes when its Useful (first-copy) packet count reaches pkts —
+// the finite-workload semantics of fountain-coded file distribution,
+// where any pkts distinct symbols decode the object. Every protocol
+// records exactly one Useful Add per distinct packet, so the counter
+// is the distinct-receipt count. Call before the run; a target of 0
+// disables tracking (the streaming default).
+func (c *Collector) SetCompletionTarget(pkts uint64) { c.target = pkts }
+
+// CompletionTarget returns the armed target (0 = none).
+func (c *Collector) CompletionTarget() uint64 { return c.target }
+
+// CompletionTime returns when node received its target'th distinct
+// packet, and whether it has yet.
+func (c *Collector) CompletionTime(node int) (sim.Time, bool) {
+	ns := c.nodes[node]
+	if ns == nil || !ns.completed {
+		return 0, false
+	}
+	return ns.completedAt, true
+}
+
+// Completed returns how many tracked nodes have finished the workload.
+func (c *Collector) Completed() int {
+	n := 0
+	for _, ns := range c.nodes {
+		if ns.completed {
+			n++
+		}
+	}
+	return n
+}
+
+// CompletionCDF returns the sorted per-node completion times in
+// seconds, over the nodes that completed — the time-to-finish curve
+// finite-workload experiments plot. Nodes that never completed are
+// absent; compare len(CompletionCDF()) against Nodes() for the
+// completion fraction.
+func (c *Collector) CompletionCDF() []float64 {
+	var out []float64
+	for _, id := range c.nodeIDs() {
+		if ns := c.nodes[id]; ns.completed {
+			out = append(out, ns.completedAt.ToSeconds())
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
 // Add records size bytes of the given kind for node at time now.
 func (c *Collector) Add(now sim.Time, node int, k Kind, size int) {
 	ns := c.nodes[node]
 	if ns == nil {
 		ns = &nodeSeries{}
 		c.nodes[node] = ns
+	}
+	if c.target > 0 && k == Useful {
+		ns.usefulPkts++
+		if ns.usefulPkts == c.target {
+			ns.completedAt, ns.completed = now, true
+		}
 	}
 	idx := int(now / c.bucket)
 	if idx > c.maxIdx {

@@ -206,3 +206,63 @@ func TestMeanOverNodes(t *testing.T) {
 		t.Errorf("MeanOverNodes(all) = %v, MeanOver = %v", got, all)
 	}
 }
+
+func TestCompletionTracking(t *testing.T) {
+	c := NewCollector(sim.Second)
+	c.Track(1)
+	c.Track(2)
+	c.Track(3)
+	c.SetCompletionTarget(3)
+	if got := c.CompletionTarget(); got != 3 {
+		t.Fatalf("CompletionTarget = %d, want 3", got)
+	}
+	// Node 1 completes at t=5s on its third Useful packet; duplicates
+	// and raw bytes never count.
+	c.Add(1*sim.Second, 1, Useful, 1500)
+	c.Add(2*sim.Second, 1, Duplicate, 1500)
+	c.Add(3*sim.Second, 1, Raw, 1500)
+	c.Add(4*sim.Second, 1, Useful, 1500)
+	if _, done := c.CompletionTime(1); done {
+		t.Fatal("node 1 completed after 2 useful packets, target is 3")
+	}
+	c.Add(5*sim.Second, 1, Useful, 1500)
+	at, done := c.CompletionTime(1)
+	if !done || at != 5*sim.Second {
+		t.Fatalf("CompletionTime(1) = (%v, %v), want (5s, true)", at, done)
+	}
+	// Extra packets do not move the completion time.
+	c.Add(9*sim.Second, 1, Useful, 1500)
+	if at, _ := c.CompletionTime(1); at != 5*sim.Second {
+		t.Errorf("completion time moved to %v after extra packets", at)
+	}
+	// Node 2 completes later; node 3 never does.
+	c.Add(6*sim.Second, 2, Useful, 100)
+	c.Add(7*sim.Second, 2, Useful, 100)
+	c.Add(8*sim.Second, 2, Useful, 100)
+	if got := c.Completed(); got != 2 {
+		t.Errorf("Completed = %d, want 2", got)
+	}
+	cdf := c.CompletionCDF()
+	if len(cdf) != 2 || cdf[0] != 5 || cdf[1] != 8 {
+		t.Errorf("CompletionCDF = %v, want [5 8]", cdf)
+	}
+	if _, done := c.CompletionTime(3); done {
+		t.Error("node 3 should not have completed")
+	}
+	if _, done := c.CompletionTime(99); done {
+		t.Error("untracked node should not have completed")
+	}
+}
+
+func TestCompletionDisabledByDefault(t *testing.T) {
+	c := NewCollector(sim.Second)
+	for i := 0; i < 10; i++ {
+		c.Add(sim.Time(i)*sim.Second, 1, Useful, 1500)
+	}
+	if got := c.Completed(); got != 0 {
+		t.Errorf("Completed = %d without a target, want 0", got)
+	}
+	if cdf := c.CompletionCDF(); len(cdf) != 0 {
+		t.Errorf("CompletionCDF = %v without a target, want empty", cdf)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"bullet/internal/overlay"
 	"bullet/internal/sim"
 	"bullet/internal/transport"
+	"bullet/internal/workload"
 	"bullet/internal/workset"
 )
 
@@ -29,6 +30,12 @@ type Config struct {
 	Start sim.Time
 	// Duration is how long the source streams.
 	Duration sim.Duration
+	// Workload overrides the default constant-bit-rate source (nil
+	// streams CBR at RateKbps/PacketSize, byte-identical to the
+	// pre-workload-layer pump).
+	Workload workload.Source
+	// Sink, when set, observes every per-node first-copy delivery.
+	Sink workload.Sink
 }
 
 // Node is one streaming participant.
@@ -49,6 +56,7 @@ type System struct {
 	cfg   Config
 	col   *metrics.Collector
 	eng   *sim.Engine
+	src   workload.Source
 
 	net        *netem.Network
 	dead       map[int]bool
@@ -63,11 +71,13 @@ func Deploy(net *netem.Network, tree *overlay.Tree, cfg Config, col *metrics.Col
 	if cfg.PacketSize <= 0 {
 		cfg.PacketSize = 1500
 	}
-	if cfg.RateKbps <= 0 {
+	if cfg.Workload == nil && cfg.RateKbps <= 0 {
 		return nil, fmt.Errorf("streamer: rate %v Kbps", cfg.RateKbps)
 	}
 	sys := &System{Nodes: make(map[int]*Node), Tree: tree, cfg: cfg, col: col,
-		eng: net.Engine(), net: net, dead: make(map[int]bool)}
+		eng: net.Engine(), net: net, dead: make(map[int]bool),
+		src: workload.Default(cfg.Workload, cfg.RateKbps, cfg.PacketSize)}
+	workload.InstallCompletion(sys.src, col)
 	for _, id := range tree.Participants {
 		parent := -1
 		if p, ok := tree.Parent(id); ok {
@@ -94,31 +104,24 @@ func Deploy(net *netem.Network, tree *overlay.Tree, cfg Config, col *metrics.Col
 		n.ep.OnData(func(from int, seq uint64, size int) { sys.onData(id, from, seq, size) })
 		sys.Nodes[id] = n
 	}
-	// Source pump: one packet every PacketSize/rate.
-	bytesPerSec := cfg.RateKbps * 1000 / 8
-	interval := sim.Duration(float64(cfg.PacketSize) / bytesPerSec * float64(sim.Second))
-	if interval < sim.Microsecond {
-		interval = sim.Microsecond
-	}
 	if sys.joinDegree = tree.MaxDegree(); sys.joinDegree < 2 {
 		sys.joinDegree = 2
 	}
-	var seq uint64
+	// Source pump: packet generation is owned by the workload layer.
 	end := cfg.Start + cfg.Duration
-	var pump func()
-	pump = func() {
-		if sys.eng.Now() >= end || sys.stopped {
-			return
-		}
-		root := sys.Nodes[tree.Root]
-		root.seen.Add(seq)
-		root.forward(seq, cfg.PacketSize)
-		seq++
-		sys.eng.ScheduleAfter(interval, pump)
-	}
-	sys.eng.Schedule(cfg.Start, pump)
+	workload.Pump(sys.eng, sys.src, cfg.Start,
+		func() bool { return sys.eng.Now() >= end || sys.stopped },
+		func(seq uint64, size int) {
+			root := sys.Nodes[tree.Root]
+			root.seen.Add(seq)
+			root.forward(seq, size)
+		})
 	return sys, nil
 }
+
+// Workload returns the source driving this deployment's packet
+// generation (the configured one, or the default CBR).
+func (sys *System) Workload() workload.Source { return sys.src }
 
 func (sys *System) onData(id, from int, seq uint64, size int) {
 	n := sys.Nodes[id]
@@ -129,6 +132,9 @@ func (sys *System) onData(id, from int, seq uint64, size int) {
 	}
 	if n.seen.Add(seq) {
 		sys.col.Add(now, id, metrics.Useful, size)
+		if s := sys.cfg.Sink; s != nil {
+			s.Deliver(now, id, seq)
+		}
 		n.forward(seq, size)
 	} else {
 		sys.col.Add(now, id, metrics.Duplicate, size)

@@ -1,0 +1,189 @@
+package workload
+
+import (
+	"math"
+	"sort"
+
+	"bullet/internal/sim"
+)
+
+// CBR emits fixed-size packets at a constant bit rate — the classic
+// streaming workload, byte-identical to the private source pumps the
+// protocols carried before this package existed.
+type CBR struct {
+	RateKbps   float64
+	PacketSize int
+}
+
+// Name implements Source.
+func (CBR) Name() string { return "cbr" }
+
+// Next implements Source.
+func (c CBR) Next(now sim.Time, seq uint64) (int, sim.Duration, bool) {
+	return c.PacketSize, Interval(c.RateKbps, c.PacketSize), true
+}
+
+// VBR alternates deterministically between a high ("on") and a low
+// ("off") bit rate on a fixed period — the bursty variable-bit-rate
+// workload. With LowKbps = 0 the off phase is silent (pure on/off);
+// otherwise it emits at the low rate. The phase boundary is evaluated
+// at each emission instant, so the pattern is a pure function of
+// virtual time.
+type VBR struct {
+	HighKbps   float64
+	LowKbps    float64
+	PacketSize int
+	// Period is the full on+off cycle length (default 10 s).
+	Period sim.Duration
+	// Duty is the fraction of each period spent at HighKbps
+	// (default 0.5).
+	Duty float64
+	// Phase is the cycle origin — typically the stream start, so the
+	// burst pattern is anchored to the workload, not to t=0.
+	Phase sim.Time
+}
+
+// Name implements Source.
+func (VBR) Name() string { return "vbr" }
+
+// Next implements Source.
+func (v VBR) Next(now sim.Time, seq uint64) (int, sim.Duration, bool) {
+	period := v.Period
+	if period <= 0 {
+		period = 10 * sim.Second
+	}
+	duty := v.Duty
+	if duty <= 0 || duty > 1 {
+		duty = 0.5
+	}
+	pos := (now - v.Phase) % period
+	if pos < 0 {
+		pos += period
+	}
+	onLen := sim.Duration(float64(period) * duty)
+	if pos < onLen {
+		return v.PacketSize, Interval(v.HighKbps, v.PacketSize), true
+	}
+	if v.LowKbps <= 0 {
+		// Silent until the next on-phase starts.
+		return 0, period - pos, true
+	}
+	return v.PacketSize, Interval(v.LowKbps, v.PacketSize), true
+}
+
+// File is the finite digital-fountain workload of §2.1: a file of K
+// source blocks is erasure-coded (LT or Tornado, see internal/codec)
+// and the stream's sequence number doubles as the encoded-symbol ID.
+// No receiver needs any specific packet — a node completes the file at
+// Target() = ceil((1+Overhead)·K) distinct receipts, which the metrics
+// collector records per node (see Collector.CompletionCDF). The source
+// is rateless: it emits fresh symbols at RateKbps until the stream
+// duration ends, or until Total symbols when a cap is set.
+type File struct {
+	RateKbps   float64
+	PacketSize int // encoded-symbol wire size
+	K          int // source blocks in the file
+	// Overhead is the reception overhead ε (default 0.15): decode
+	// succeeds with high probability at (1+ε)·K distinct symbols.
+	Overhead float64
+	// Total optionally caps emitted symbols (0 = bounded only by the
+	// stream duration).
+	Total uint64
+}
+
+// Name implements Source.
+func (File) Name() string { return "file" }
+
+// Target implements Completer: distinct receipts for a full decode.
+func (f File) Target() uint64 {
+	eps := f.Overhead
+	if eps <= 0 {
+		eps = 0.15
+	}
+	return uint64(math.Ceil((1 + eps) * float64(f.K)))
+}
+
+// Next implements Source.
+func (f File) Next(now sim.Time, seq uint64) (int, sim.Duration, bool) {
+	if f.Total > 0 && seq >= f.Total {
+		return 0, 0, false
+	}
+	return f.PacketSize, Interval(f.RateKbps, f.PacketSize), true
+}
+
+// RateStep is one entry of a MultiRate schedule: from At onward the
+// source emits at RateKbps.
+type RateStep struct {
+	At       sim.Time
+	RateKbps float64
+}
+
+// MultiRate emits fixed-size packets at a rate that changes on a
+// schedule. Steps apply in time order; the first step's rate also
+// covers any time before it. MultiRate composes with
+// internal/scenario: a scenario action may append a step mid-run —
+//
+//	src := workload.NewMultiRate(1500,
+//	    workload.RateStep{At: 0, RateKbps: 600})
+//	sched.At(60*sim.Second, scenario.Func(func(env *scenario.Env) {
+//	    src.SetRateAt(env.Eng.Now(), 1200)
+//	}))
+//
+// — because the pump re-reads the schedule at every emission. Steps
+// must only ever be appended at or after the current virtual time, so
+// the run stays a pure function of (config, seed, schedule).
+type MultiRate struct {
+	PacketSize int
+	steps      []RateStep
+}
+
+// NewMultiRate builds a schedule-driven source; steps may be given in
+// any order.
+func NewMultiRate(packetSize int, steps ...RateStep) *MultiRate {
+	m := &MultiRate{PacketSize: packetSize, steps: append([]RateStep(nil), steps...)}
+	sort.SliceStable(m.steps, func(i, j int) bool { return m.steps[i].At < m.steps[j].At })
+	return m
+}
+
+// SetRateAt appends a rate change effective from at onward.
+func (m *MultiRate) SetRateAt(at sim.Time, kbps float64) {
+	m.steps = append(m.steps, RateStep{At: at, RateKbps: kbps})
+	sort.SliceStable(m.steps, func(i, j int) bool { return m.steps[i].At < m.steps[j].At })
+}
+
+// RateAt returns the rate in effect at time t.
+func (m *MultiRate) RateAt(t sim.Time) float64 {
+	if len(m.steps) == 0 {
+		return 0
+	}
+	rate := m.steps[0].RateKbps
+	for _, s := range m.steps {
+		if s.At > t {
+			break
+		}
+		rate = s.RateKbps
+	}
+	return rate
+}
+
+// Name implements Source.
+func (*MultiRate) Name() string { return "multirate" }
+
+// Next implements Source. A step with a non-positive rate pauses the
+// stream: emission stays silent until the next scheduled step with a
+// positive rate, so pause/resume schedules (and scenario-driven
+// SetRateAt pauses whose resume step is already scheduled) work. Only
+// when no future positive-rate step exists does the stream end for
+// good.
+func (m *MultiRate) Next(now sim.Time, seq uint64) (int, sim.Duration, bool) {
+	rate := m.RateAt(now)
+	if rate <= 0 {
+		for _, s := range m.steps {
+			if s.At > now && s.RateKbps > 0 {
+				return 0, s.At - now, true
+			}
+		}
+		return 0, 0, false
+	}
+	return m.PacketSize, Interval(rate, m.PacketSize), true
+}

@@ -28,9 +28,11 @@ import (
 
 	"bullet/internal/core"
 	"bullet/internal/epidemic"
+	"bullet/internal/experiments"
 	"bullet/internal/metrics"
 	"bullet/internal/sim"
 	"bullet/internal/streamer"
+	"bullet/internal/workload"
 )
 
 // Protocol is anything deployable into a World over a distribution
@@ -52,6 +54,11 @@ type Deployment interface {
 	Protocol() string
 	// Collector returns the deployment's metrics sink.
 	Collector() *Collector
+	// Workload returns the source driving packet generation: the one
+	// configured on the protocol, or the default CBR stream. Finite
+	// workloads (File) additionally arm the collector's per-node
+	// completion tracking (Collector.CompletionCDF).
+	Workload() Workload
 	// Tree returns the distribution tree (shared, live — membership
 	// changes mutate it), or nil for mesh-only protocols like gossip.
 	Tree() *Tree
@@ -86,6 +93,7 @@ type runtimeSystem interface {
 	Live(node int) bool
 	LiveNodes() []int
 	MemberEpoch() int
+	Workload() workload.Source
 }
 
 // deployment is the stock Deployment implementation shared by the four
@@ -99,6 +107,7 @@ type deployment struct {
 
 func (d *deployment) Protocol() string       { return d.name }
 func (d *deployment) Collector() *Collector  { return d.col }
+func (d *deployment) Workload() Workload     { return d.sys.Workload() }
 func (d *deployment) Tree() *Tree            { return d.tree }
 func (d *deployment) Nodes() []int           { return d.sys.LiveNodes() }
 func (d *deployment) Live(node int) bool     { return d.sys.Live(node) }
@@ -205,13 +214,29 @@ func Protocols() []string {
 	return out
 }
 
+// UnknownProtocolError reports an unrecognized protocol name, with a
+// did-you-mean Suggestion (the nearest registered name by edit
+// distance) when one is plausibly close.
+type UnknownProtocolError struct {
+	Name       string
+	Suggestion string
+}
+
+func (e *UnknownProtocolError) Error() string {
+	if e.Suggestion != "" {
+		return fmt.Sprintf("bullet: unknown protocol %q (did you mean %q? have %v)",
+			e.Name, e.Suggestion, Protocols())
+	}
+	return fmt.Sprintf("bullet: unknown protocol %q (have %v)", e.Name, Protocols())
+}
+
 // ProtocolByName returns a default-configured instance of the named
 // protocol. Configure further by type-asserting to the concrete
 // protocol struct, or construct the struct directly.
 func ProtocolByName(name string) (Protocol, error) {
 	f, ok := protocolFactories[name]
 	if !ok {
-		return nil, fmt.Errorf("bullet: unknown protocol %q (have %v)", name, Protocols())
+		return nil, &UnknownProtocolError{Name: name, Suggestion: experiments.Nearest(name, Protocols())}
 	}
 	return f(), nil
 }

@@ -1,6 +1,7 @@
 package bullet_test
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -61,6 +62,12 @@ func TestAllProtocolsDeployByName(t *testing.T) {
 			} else if d.Tree() != tree {
 				t.Error("deployment does not expose the deployed tree")
 			}
+			if got := d.Workload().Name(); got != "cbr" {
+				t.Errorf("default Workload().Name() = %q, want cbr", got)
+			}
+			if got := d.Collector().CompletionTarget(); got != 0 {
+				t.Errorf("CBR armed a completion target of %d", got)
+			}
 			w.Run(60 * bullet.Second)
 			if d.Collector().Total(bullet.Useful) == 0 {
 				t.Errorf("%s delivered nothing", name)
@@ -72,10 +79,90 @@ func TestAllProtocolsDeployByName(t *testing.T) {
 	}
 }
 
+// A FileWorkload threads through every protocol config to the shared
+// pump and arms completion tracking on the deployment's collector; a
+// WorkloadSink observes the per-node first-copy deliveries.
+func TestWorkloadThreadsThroughEveryProtocol(t *testing.T) {
+	wl := bullet.FileWorkload{RateKbps: 400, PacketSize: 1500, K: 200, Overhead: 0.15}
+	for _, name := range bullet.Protocols() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			w, err := bullet.NewWorld(bullet.WorldConfig{TotalNodes: 800, Clients: 15, Seed: 23})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tree, err := w.RandomTree(4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sink := &countingSink{seen: make(map[int]int)}
+			var p bullet.Protocol
+			switch name {
+			case "bullet":
+				cfg := bullet.DefaultConfig(400)
+				cfg.Duration = 60 * bullet.Second
+				cfg.MaxSenders, cfg.MaxReceivers = 4, 4
+				cfg.Workload, cfg.Sink = wl, sink
+				p = bullet.BulletProtocol{Config: cfg}
+			case "streamer":
+				p = bullet.StreamerProtocol{Config: bullet.StreamConfig{
+					Duration: 60 * bullet.Second, Workload: wl, Sink: sink}}
+			case "gossip":
+				p = bullet.GossipProtocol{Config: bullet.GossipConfig{
+					Duration: 60 * bullet.Second, Workload: wl, Sink: sink}}
+			case "anti-entropy":
+				p = bullet.AntiEntropyProtocol{Config: bullet.AntiEntropyConfig{
+					Duration: 60 * bullet.Second, Workload: wl, Sink: sink}}
+			}
+			d, err := w.Deploy(p, tree)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := d.Workload().Name(); got != "file" {
+				t.Fatalf("Workload().Name() = %q, want file", got)
+			}
+			if got := d.Collector().CompletionTarget(); got != wl.Target() {
+				t.Fatalf("completion target %d, want %d", got, wl.Target())
+			}
+			w.Run(90 * bullet.Second)
+			if d.Collector().Completed() == 0 {
+				t.Errorf("%s: no node completed the %d-symbol file", name, wl.Target())
+			}
+			if len(sink.seen) == 0 {
+				t.Errorf("%s: sink observed no deliveries", name)
+			}
+			for node, n := range sink.seen {
+				// First-copy only: a node can never see more distinct
+				// packets than the source emitted in 60s at 400 Kbps.
+				if max := 60 * 400 * 1000 / 8 / 1500; n > max {
+					t.Fatalf("node %d saw %d deliveries, ceiling %d", node, n, max)
+				}
+			}
+		})
+	}
+}
+
+type countingSink struct{ seen map[int]int }
+
+func (s *countingSink) Deliver(now bullet.Time, node int, seq uint64) { s.seen[node]++ }
+
 func TestProtocolByNameUnknown(t *testing.T) {
 	_, err := bullet.ProtocolByName("quic")
 	if err == nil || !strings.Contains(err.Error(), "unknown protocol") {
 		t.Fatalf("err = %v, want unknown protocol", err)
+	}
+	// Near-miss names get a did-you-mean through the shared suggestion
+	// machinery.
+	_, err = bullet.ProtocolByName("streamr")
+	var upe *bullet.UnknownProtocolError
+	if !errors.As(err, &upe) {
+		t.Fatalf("err type %T, want *UnknownProtocolError", err)
+	}
+	if upe.Suggestion != "streamer" {
+		t.Errorf("Suggestion = %q, want streamer", upe.Suggestion)
+	}
+	if !strings.Contains(err.Error(), `did you mean "streamer"`) {
+		t.Errorf("error %q missing did-you-mean", err)
 	}
 }
 

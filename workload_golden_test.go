@@ -1,0 +1,97 @@
+package bullet_test
+
+import (
+	"math"
+	"testing"
+
+	"bullet"
+)
+
+// Golden traces for the default-CBR workload across all four
+// protocols. The constants were captured from the pre-workload-layer
+// implementation (each protocol carrying its own private source pump);
+// a run through the shared workload pump with a default CBR source
+// must reproduce them bit-for-bit. Together with TestGoldenStreamerTrace
+// these pin the workload refactor: introducing internal/workload must
+// not change simulation semantics, only who owns packet generation.
+func TestGoldenWorkloadCBRTraces(t *testing.T) {
+	type golden struct {
+		fired     uint64
+		sent      uint64
+		delivered uint64
+		pkts      uint64
+		useful    float64
+	}
+	cases := []struct {
+		protocol string
+		want     golden
+	}{
+		{"bullet", golden{2705266, 183407304, 172091604, 194042, 480.3375}},
+		{"streamer", golden{864137, 73950576, 72844152, 71014, 238.84166666666667}},
+		{"gossip", golden{9074532, 403104096, 353668584, 710716, 464.5216216216216}},
+		{"anti-entropy", golden{993582, 74717148, 73657968, 80542, 218.31}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.protocol, func(t *testing.T) {
+			w, err := bullet.NewWorld(bullet.WorldConfig{
+				TotalNodes: 1500, Clients: 40, Seed: 42,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tree, err := w.RandomTree(5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var p bullet.Protocol
+			switch tc.protocol {
+			case "bullet":
+				cfg := bullet.DefaultConfig(600)
+				cfg.Start = 5 * bullet.Second
+				cfg.Duration = 60 * bullet.Second
+				cfg.MaxSenders, cfg.MaxReceivers = 4, 4
+				p = bullet.BulletProtocol{Config: cfg}
+			case "streamer":
+				p = bullet.StreamerProtocol{Config: bullet.StreamConfig{
+					RateKbps: 600, PacketSize: 1500,
+					Start: 5 * bullet.Second, Duration: 60 * bullet.Second,
+				}}
+			case "gossip":
+				p = bullet.GossipProtocol{Config: bullet.GossipConfig{
+					RateKbps: 600, PacketSize: 1500, Fanout: 5,
+					Start: 5 * bullet.Second, Duration: 60 * bullet.Second,
+				}}
+			case "anti-entropy":
+				p = bullet.AntiEntropyProtocol{Config: bullet.AntiEntropyConfig{
+					RateKbps: 600, PacketSize: 1500,
+					Epoch: 20 * bullet.Second, Peers: 5, Window: 2000,
+					Start: 5 * bullet.Second, Duration: 60 * bullet.Second,
+				}}
+			}
+			d, err := w.Deploy(p, tree)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w.Run(70 * bullet.Second)
+
+			if fired := w.Network().Engine().Fired(); fired != tc.want.fired {
+				t.Errorf("Engine.Fired() = %d, want %d", fired, tc.want.fired)
+			}
+			st := w.Network().Stats()
+			if st.DataBytesSent != tc.want.sent {
+				t.Errorf("DataBytesSent = %d, want %d", st.DataBytesSent, tc.want.sent)
+			}
+			if st.DataBytesDelivered != tc.want.delivered {
+				t.Errorf("DataBytesDelivered = %d, want %d", st.DataBytesDelivered, tc.want.delivered)
+			}
+			if st.DeliveredPackets != tc.want.pkts {
+				t.Errorf("DeliveredPackets = %d, want %d", st.DeliveredPackets, tc.want.pkts)
+			}
+			useful := d.Collector().MeanOver(30*bullet.Second, 70*bullet.Second, bullet.Useful)
+			if math.Abs(useful-tc.want.useful) > 1e-9 {
+				t.Errorf("useful = %.12f Kbps, want %.12f", useful, tc.want.useful)
+			}
+		})
+	}
+}
