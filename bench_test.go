@@ -17,6 +17,9 @@ import (
 
 func benchExperiment(b *testing.B, id string, report func(b *testing.B, r *bullet.ExperimentResult)) {
 	b.Helper()
+	// B/op and allocs/op are gated by cmd/benchgate alongside ns/op, so
+	// every experiment bench reports them even without -benchmem.
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := bullet.RunExperiment(id, bullet.SmallScale, 42)
 		if err != nil {
@@ -176,6 +179,7 @@ func BenchmarkOvercast(b *testing.B) {
 
 func benchAblation(b *testing.B, mutate func(*bullet.Config)) {
 	b.Helper()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		w, err := bullet.NewWorld(bullet.WorldConfig{TotalNodes: 1500, Clients: 40, Seed: 42})
 		if err != nil {
@@ -231,7 +235,40 @@ func BenchmarkAblationNoEviction(b *testing.B) {
 // Micro-benchmarks of the substrates.
 // ---------------------------------------------------------------------
 
+// BenchmarkPaperScaleStartup measures the cold path to a deployed
+// paper-scale overlay: generating the 20,000-node topology, building
+// the 1000-participant random tree, and wiring a full Bullet
+// deployment (endpoints, flows, RanSub agents, dense per-node state).
+// This is the fixed cost every paper-scale run pays before the first
+// virtual second, and the allocation counter is the canary for per-node
+// state regressions at scale.
+func BenchmarkPaperScaleStartup(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w, err := bullet.NewWorld(bullet.WorldConfig{
+			TotalNodes: bullet.PaperScale.TopoNodes, Clients: bullet.PaperScale.Clients, Seed: 42,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tree, err := w.RandomTree(bullet.PaperScale.TreeDegree)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := bullet.DefaultConfig(600)
+		cfg.Start = bullet.PaperScale.Start
+		cfg.Duration = bullet.PaperScale.Duration
+		sys, col, err := w.DeployBullet(tree, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = sys
+		b.ReportMetric(float64(col.Nodes()), "participants")
+	}
+}
+
 func BenchmarkEmulatorPacketForwarding(b *testing.B) {
+	b.ReportAllocs()
 	w, err := bullet.NewWorld(bullet.WorldConfig{TotalNodes: 1500, Clients: 40, Seed: 7})
 	if err != nil {
 		b.Fatal(err)

@@ -161,7 +161,10 @@ var (
 var (
 	SmallScale  = experiments.Small
 	MediumScale = experiments.Medium
-	PaperScale  = experiments.PaperScale
+	// XLScale sits between medium and paper: 10,000-node topology with
+	// 400 participants, the CI smoke point for the scale path.
+	XLScale    = experiments.XL
+	PaperScale = experiments.PaperScale
 )
 
 // DefaultConfig returns the paper's Bullet parameters for a target

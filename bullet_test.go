@@ -68,8 +68,8 @@ func TestRunExperimentUnknown(t *testing.T) {
 
 func TestExperimentsListed(t *testing.T) {
 	ids := bullet.Experiments()
-	if len(ids) != 22 {
-		t.Fatalf("%d experiments, want 22", len(ids))
+	if len(ids) != 23 {
+		t.Fatalf("%d experiments, want 23", len(ids))
 	}
 	listed := make(map[string]bool, len(ids))
 	for _, id := range ids {
@@ -78,7 +78,7 @@ func TestExperimentsListed(t *testing.T) {
 	for _, id := range []string{
 		"dyn-bottleneck", "dyn-partition", "dyn-flashcrowd", "dyn-oscillate",
 		"churn-crash25", "churn-crashheal", "churn-rolling", "churn-join",
-		"filedist-compare", "vbr-stream",
+		"churn-xl", "filedist-compare", "vbr-stream",
 	} {
 		if !listed[id] {
 			t.Errorf("experiment %q not listed", id)

@@ -6,7 +6,8 @@
 //
 //	go test -bench=. -benchtime=1x -benchmem | benchgate -json BENCH.json
 //
-// Gate against a baseline (exit 1 on >20% ns/op regression):
+// Gate against a baseline (exit 1 on a >20% regression of any gate
+// metric — ns/op, B/op, or allocs/op):
 //
 //	go test -bench=. -benchtime=1x -benchmem | \
 //	    benchgate -json BENCH.json -baseline bench_baseline.json -max-regress 0.20
@@ -14,8 +15,12 @@
 // The JSON artifact records every metric a benchmark reported — ns/op,
 // B/op, allocs/op, and the custom experiment metrics (useful_kbps,
 // dup_ratio, ...) — keyed by benchmark name with the GOMAXPROCS suffix
-// stripped. Only the gate metric (default ns/op) fails the run; the
-// rest are carried so CI artifacts track the full trajectory.
+// stripped. Only the gate metrics (default "ns/op,B/op,allocs/op")
+// fail the run; the rest are carried so CI artifacts track the full
+// trajectory. Benchmarks whose baseline ns/op is under -min-ns are
+// exempt from every gate metric (single-iteration noise); -calibrate
+// divides out a uniform hardware delta for ns/op only, since byte and
+// allocation counts do not scale with machine speed.
 package main
 
 import (
@@ -49,10 +54,10 @@ func run(argv []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		in         = fs.String("in", "-", "bench output file (default: stdin)")
 		jsonOut    = fs.String("json", "", "write parsed metrics JSON to this file")
 		baseline   = fs.String("baseline", "", "baseline JSON to gate against")
-		maxRegress = fs.Float64("max-regress", 0.20, "allowed fractional regression of the gate metric")
-		metric     = fs.String("metric", "ns/op", "metric the gate compares")
+		maxRegress = fs.Float64("max-regress", 0.20, "allowed fractional regression of each gate metric")
+		metric     = fs.String("metric", "ns/op,B/op,allocs/op", "comma-separated metrics the gate compares")
 		minNs      = fs.Float64("min-ns", 1e8, "skip gating benchmarks whose baseline ns/op is below this (single-iteration timing noise)")
-		calibrate  = fs.Bool("calibrate", false, "divide current values by the median current/baseline ratio (clamped to [0.5, 2]) before gating, so a uniform hardware-speed delta between the baseline machine and this one does not trip the gate")
+		calibrate  = fs.Bool("calibrate", false, "divide current ns/op by the median current/baseline ratio (clamped to [0.5, 2]) before gating, so a uniform hardware-speed delta between the baseline machine and this one does not trip the gate; counting metrics (B/op, allocs/op) are machine-independent and never calibrated")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -102,9 +107,27 @@ func run(argv []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "benchgate: %s: %v\n", *baseline, err)
 		return 1
 	}
-	failures := gate(&base, rep, *metric, *maxRegress, *minNs, *calibrate, stdout)
+	var failures []string
+	seen := make(map[string]bool)
+	for _, m := range strings.Split(*metric, ",") {
+		m = strings.TrimSpace(m)
+		if m == "" {
+			continue
+		}
+		// Calibration corrects for machine speed, which only affects
+		// timing metrics.
+		cal := *calibrate && m == "ns/op"
+		for _, f := range gate(&base, rep, m, *maxRegress, *minNs, cal, stdout) {
+			// A benchmark missing from the current run surfaces once per
+			// gate metric with the identical message; count it once.
+			if !seen[f] {
+				seen[f] = true
+				failures = append(failures, f)
+			}
+		}
+	}
 	if len(failures) > 0 {
-		fmt.Fprintf(stderr, "benchgate: %d benchmark(s) regressed more than %.0f%% on %s:\n",
+		fmt.Fprintf(stderr, "benchgate: %d regression(s) beyond %.0f%% on %s:\n",
 			len(failures), *maxRegress*100, *metric)
 		for _, f := range failures {
 			fmt.Fprintf(stderr, "  %s\n", f)
@@ -233,7 +256,16 @@ func gate(base, cur *Report, metric string, maxRegress, minNs float64, calibrate
 			fmt.Fprintf(out, "%-40s %15.0f %15s %8s\n", n, bv, "missing", "FAIL")
 			continue
 		}
-		cv := cm[metric] / scale
+		cvRaw, ok := cm[metric]
+		if !ok {
+			// A gate metric the baseline has but the current run lacks
+			// (e.g. -benchmem dropped, ReportAllocs removed) would
+			// otherwise gate as 0 and read as a -100% improvement.
+			failures = append(failures, fmt.Sprintf("%s: %s missing from current run", n, metric))
+			fmt.Fprintf(out, "%-40s %15.0f %15s %8s\n", n, bv, "missing", "FAIL")
+			continue
+		}
+		cv := cvRaw / scale
 		delta := 0.0
 		if bv != 0 {
 			delta = (cv - bv) / bv

@@ -194,3 +194,88 @@ func TestEmptyInputFails(t *testing.T) {
 		t.Fatalf("exit %d, want 1 on empty input", code)
 	}
 }
+
+// The gate covers B/op and allocs/op alongside ns/op: a benchmark that
+// stays fast but doubles its allocations fails.
+func TestGateFailsOnAllocRegression(t *testing.T) {
+	base := writeBaseline(t, &Report{Benchmarks: map[string]Metrics{
+		// ns/op and B/op match the current run; allocs/op halves the
+		// current value, i.e. the current run regressed +100%.
+		"BenchmarkFig07": {"ns/op": 2052964325, "B/op": 155018464, "allocs/op": 751813},
+	}})
+	var out, errb bytes.Buffer
+	code := run([]string{"-baseline", base, "-max-regress", "0.20"},
+		strings.NewReader(benchOutput), &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (allocs/op regressed)", code)
+	}
+	if !strings.Contains(errb.String(), "allocs/op") {
+		t.Errorf("stderr %q does not name allocs/op", errb.String())
+	}
+}
+
+func TestGateFailsOnBytesRegression(t *testing.T) {
+	base := writeBaseline(t, &Report{Benchmarks: map[string]Metrics{
+		"BenchmarkFig07": {"ns/op": 2052964325, "B/op": 100000000, "allocs/op": 1503626},
+	}})
+	var out, errb bytes.Buffer
+	code := run([]string{"-baseline", base, "-max-regress", "0.20"},
+		strings.NewReader(benchOutput), &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (B/op regressed +55%%)", code)
+	}
+	if !strings.Contains(errb.String(), "B/op") {
+		t.Errorf("stderr %q does not name B/op", errb.String())
+	}
+}
+
+// The sub-min-ns exemption applies to every gate metric, and
+// calibration must never rescale counting metrics: a machine-speed
+// delta changes ns/op, not allocation counts.
+func TestGateMetricsRespectMinNsAndCalibrate(t *testing.T) {
+	tiny := writeBaseline(t, &Report{Benchmarks: map[string]Metrics{
+		// 11ms baseline: exempt even though allocs/op regressed wildly.
+		"BenchmarkTable1": {"ns/op": 11000000, "allocs/op": 10},
+	}})
+	var out, errb bytes.Buffer
+	if code := run([]string{"-baseline", tiny}, strings.NewReader(benchOutput), &out, &errb); code != 0 {
+		t.Fatalf("exit %d, want 0 (sub-min-ns bench must skip alloc gate too); stderr: %s", code, errb.String())
+	}
+	// Uniform 1.6x time shift + a real alloc regression: calibration
+	// forgives the former, never the latter.
+	base := writeBaseline(t, &Report{Benchmarks: map[string]Metrics{
+		"BenchmarkFig07":  {"ns/op": 2052964325.0 / 1.6, "allocs/op": 751813},
+		"BenchmarkTable1": {"ns/op": 11483393.0 / 1.6},
+	}})
+	out.Reset()
+	errb.Reset()
+	code := run([]string{"-baseline", base, "-min-ns", "1000", "-calibrate"},
+		strings.NewReader(benchOutput), &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (alloc regression must survive calibration)", code)
+	}
+	if !strings.Contains(errb.String(), "allocs/op") {
+		t.Errorf("stderr %q does not name allocs/op", errb.String())
+	}
+	if strings.Contains(errb.String(), "ns/op 1283102703") {
+		t.Errorf("calibration failed to cancel the uniform time shift: %s", errb.String())
+	}
+}
+
+// A benchmark whose current run lacks a gate metric the baseline has
+// must fail, not gate as 0 (which would read as a -100% improvement).
+func TestGateFailsOnMissingMetric(t *testing.T) {
+	base := writeBaseline(t, &Report{Benchmarks: map[string]Metrics{
+		"BenchmarkFig07": {"ns/op": 2052964325, "B/op": 155018464, "allocs/op": 1503626},
+	}})
+	// Current output without -benchmem: no B/op / allocs/op columns.
+	cur := "BenchmarkFig07-8   1   2052964325 ns/op   551.8 useful_kbps\nPASS\n"
+	var out, errb bytes.Buffer
+	code := run([]string{"-baseline", base}, strings.NewReader(cur), &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (gate metric missing from current run)", code)
+	}
+	if !strings.Contains(errb.String(), "allocs/op missing from current run") {
+		t.Errorf("stderr %q missing explanation", errb.String())
+	}
+}

@@ -9,8 +9,11 @@
 //	bullet-sim -experiment dyn-partition,dyn-flashcrowd -parallel 2
 //	bullet-sim -list
 //
-// Scales: small (seconds of wall-clock), medium, paper (the paper's
-// 20,000-node topologies with 1000 participants; minutes to hours).
+// Scales: small (seconds of wall-clock), medium, xl (the CI smoke
+// point for the scale path), paper (the paper's 20,000-node topologies
+// with 1000 participants; minutes to hours). -cpuprofile and
+// -memprofile write pprof profiles covering exactly the experiment
+// runs, for diagnosing scale regressions without editing code.
 //
 // Besides the paper's tables and figures, the dyn-* experiments replay
 // deterministic network-dynamics scenarios (transient bottlenecks,
@@ -32,6 +35,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -55,6 +60,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		parallel   = fs.Int("parallel", 0, "worker goroutines for multi-experiment runs (0 = GOMAXPROCS)")
 		list       = fs.Bool("list", false, "list experiments and exit")
 		quiet      = fs.Bool("q", false, "suppress progress output")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
+		memProfile = fs.String("memprofile", "", "write an allocation profile (after the runs) to this file")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -90,6 +97,37 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		runs[i] = experiments.Run{ID: strings.TrimSpace(id), Scale: scale, Seed: *seed}
 	}
 
+	// Profiling hooks: scale regressions at xl/paper are diagnosed by
+	// rerunning the same experiment with -cpuprofile/-memprofile, no
+	// code edits needed. Profiles cover exactly the experiment runs.
+	// Both files are created up front: an unwritable path must fail
+	// before minutes of computation, not discard completed results.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(stderr, "bullet-sim:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintln(stderr, "bullet-sim:", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	var memFile *os.File
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(stderr, "bullet-sim:", err)
+			return 1
+		}
+		memFile = f
+	}
+
 	start := time.Now()
 	if !*quiet {
 		fmt.Fprintf(stderr, "running %d experiment(s) at %s scale (seed %d)...\n",
@@ -98,6 +136,20 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	results := experiments.RunAll(runs, *parallel)
 	if !*quiet {
 		fmt.Fprintf(stderr, "finished in %v\n", time.Since(start).Round(time.Millisecond))
+	}
+	profileFailed := false
+	if memFile != nil {
+		runtime.GC() // flush accounting so the profile reflects the runs
+		err := pprof.Lookup("allocs").WriteTo(memFile, 0)
+		if cerr := memFile.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			// Results are still emitted below; report the profile
+			// failure and reflect it in the exit code at the end.
+			fmt.Fprintln(stderr, "bullet-sim:", err)
+			profileFailed = true
+		}
 	}
 
 	// Emit every completed result before failing: by this point all runs
@@ -121,6 +173,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 	if failed > 0 {
 		fmt.Fprintf(stderr, "bullet-sim: %d of %d experiment(s) failed\n", failed, len(results))
+		return 1
+	}
+	if profileFailed {
 		return 1
 	}
 	return 0

@@ -124,8 +124,8 @@ func TestListPrintsOnePerLine(t *testing.T) {
 		t.Fatalf("exit %d, want 0", code)
 	}
 	lines := strings.Split(strings.TrimSpace(out), "\n")
-	if len(lines) != 22 {
-		t.Fatalf("%d lines, want 22 (one per experiment)", len(lines))
+	if len(lines) != 23 {
+		t.Fatalf("%d lines, want 23 (one per experiment)", len(lines))
 	}
 	for i := 1; i < len(lines); i++ {
 		if lines[i-1] >= lines[i] {
@@ -165,5 +165,51 @@ func TestOutDirWritesTSVFiles(t *testing.T) {
 	}
 	if !strings.Contains(string(data), "# Table 1") {
 		t.Error("TSV file missing result header")
+	}
+}
+
+// -cpuprofile/-memprofile write non-empty pprof files covering the
+// experiment runs, so scale regressions can be diagnosed from the CLI.
+func TestProfileFlagsWriteFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	code, out, errb := runCLI(t, "-q", "-experiment", "table1", "-scale", "small",
+		"-cpuprofile", cpu, "-memprofile", mem)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0; stderr: %s", code, errb)
+	}
+	if !strings.Contains(out, "Table 1") {
+		t.Error("experiment output missing despite profiling")
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s is empty", p)
+		}
+	}
+}
+
+func TestProfileBadPathExits1(t *testing.T) {
+	code, _, errb := runCLI(t, "-q", "-experiment", "table1",
+		"-cpuprofile", filepath.Join(t.TempDir(), "no/such/dir/cpu.out"))
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errb, "bullet-sim:") {
+		t.Errorf("stderr %q missing error", errb)
+	}
+}
+
+// The xl scale resolves and sits between medium and paper.
+func TestXLScaleRecognized(t *testing.T) {
+	code, _, errb := runCLI(t, "-q", "-experiment", "nosuch", "-scale", "xl")
+	// Unknown experiment fails with exit 1 *after* scale resolution; a
+	// bad scale would have failed with "unknown scale".
+	if code != 1 || strings.Contains(errb, "unknown scale") {
+		t.Fatalf("xl scale not recognized: exit %d, stderr %s", code, errb)
 	}
 }

@@ -7,16 +7,25 @@
 // parallel. Peering relationships are continuously re-evaluated
 // (§3.4): wasteful or useless senders and under-benefiting receivers
 // are dropped to make room for trial peers.
+//
+// Per-node and per-peer state is nodeset-backed (see CONTRIBUTING):
+// the participant table and dead set are dense node-id-indexed, the
+// small per-node peer lists (children, senders, receivers) are slices
+// in deterministic order — children in tree order, peers ascending by
+// node id — and the per-sequence timestamps (arrival stamps, per-peer
+// recently-sent windows) live in pooled SeqWindows. No map iteration
+// order can leak into the simulation, and the packet-rate paths do not
+// hash or allocate.
 package core
 
 import (
 	"math"
 	"math/rand"
-	"sort"
 
 	"bullet/internal/bloom"
 	"bullet/internal/metrics"
 	"bullet/internal/netem"
+	"bullet/internal/nodeset"
 	"bullet/internal/overlay"
 	"bullet/internal/ransub"
 	"bullet/internal/sim"
@@ -92,19 +101,23 @@ type recvPeerInfo struct {
 	mod, rows int
 	holes     []uint64
 	fresh     []uint64
-	sentSince map[uint64]sim.Time // recently sent: seq -> send time
-	sentBytes uint64              // bytes sent in current eval window
-	recvBytes uint64              // receiver's reported total, last refresh
+	sentSince *nodeset.SeqWindow // recently sent: seq -> send time (pooled)
+	sentBytes uint64             // bytes sent in current eval window
+	recvBytes uint64             // receiver's reported total, last refresh
 }
 
 // Node is one Bullet participant.
 type Node struct {
-	sys      *System
-	id       int
-	ep       *transport.Endpoint
-	parent   int
-	children map[int]*childInfo
-	childIDs []int
+	sys    *System
+	id     int
+	ep     *transport.Endpoint
+	parent int
+	// children holds per-child disjoint-send state in distribution-tree
+	// order (the order tree.Children reported at wiring time, plus
+	// runtime additions appended) — the iteration order of the Figure 5
+	// routine, which shared transport budgets make behaviourally
+	// significant.
+	children []*childInfo
 	agent    *ransub.Agent
 	rng      *rand.Rand
 
@@ -117,10 +130,13 @@ type Node struct {
 	ws       *workset.Set
 	ticket   *sketch.Ticket
 	filter   *bloom.Filter
-	arrivals map[uint64]sim.Time // when each held seq arrived (freshness gate)
+	arrivals *nodeset.SeqWindow // when each held seq arrived (freshness gate)
 
-	senders   map[int]*senderInfo
-	receivers map[int]*recvPeerInfo
+	// senders and receivers are kept sorted ascending by peer node id:
+	// every walk that used to sort map keys now just ranges the slice,
+	// with identical (deterministic) order and no allocation.
+	senders   []*senderInfo
+	receivers []*recvPeerInfo
 	pending   int // node we sent a peerRequest to; -1 if none
 	lastSet   []ransub.Entry
 
@@ -142,6 +158,91 @@ type Node struct {
 	refreshCount uint64 // refresh ticks seen, for rotation cadence
 }
 
+// findChild returns the child entry for node id, or nil. Child lists
+// are bounded by the tree degree, so a linear scan beats hashing.
+func (n *Node) findChild(id int) *childInfo {
+	for _, ci := range n.children {
+		if ci.node == id {
+			return ci
+		}
+	}
+	return nil
+}
+
+// findSender returns the sender entry for peer id, or nil.
+func (n *Node) findSender(id int) *senderInfo {
+	for _, si := range n.senders {
+		if si.node == id {
+			return si
+		}
+	}
+	return nil
+}
+
+// addSender inserts si keeping the list sorted by node id.
+func (n *Node) addSender(si *senderInfo) {
+	i := len(n.senders)
+	for i > 0 && n.senders[i-1].node > si.node {
+		i--
+	}
+	n.senders = append(n.senders, nil)
+	copy(n.senders[i+1:], n.senders[i:])
+	n.senders[i] = si
+}
+
+// removeSender deletes the sender entry for peer id, preserving order,
+// and reports whether one was present.
+func (n *Node) removeSender(id int) bool {
+	for i, si := range n.senders {
+		if si.node == id {
+			n.senders = append(n.senders[:i], n.senders[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// findReceiver returns the receiver entry for peer id, or nil.
+func (n *Node) findReceiver(id int) *recvPeerInfo {
+	for _, rf := range n.receivers {
+		if rf.node == id {
+			return rf
+		}
+	}
+	return nil
+}
+
+// addReceiver inserts rf keeping the list sorted by node id.
+func (n *Node) addReceiver(rf *recvPeerInfo) {
+	i := len(n.receivers)
+	for i > 0 && n.receivers[i-1].node > rf.node {
+		i--
+	}
+	n.receivers = append(n.receivers, nil)
+	copy(n.receivers[i+1:], n.receivers[i:])
+	n.receivers[i] = rf
+}
+
+// removeReceiver deletes and returns the receiver entry for peer id
+// (nil if absent), preserving order.
+func (n *Node) removeReceiver(id int) *recvPeerInfo {
+	for i, rf := range n.receivers {
+		if rf.node == id {
+			n.receivers = append(n.receivers[:i], n.receivers[i+1:]...)
+			return rf
+		}
+	}
+	return nil
+}
+
+// releaseReceiver returns a dropped receiver's pooled state.
+func releaseReceiver(rf *recvPeerInfo) {
+	if rf.sentSince != nil {
+		rf.sentSince.Release()
+		rf.sentSince = nil
+	}
+}
+
 // System is a deployed Bullet overlay.
 type System struct {
 	cfg   Config
@@ -151,13 +252,14 @@ type System struct {
 	col   *metrics.Collector
 	perms *sketch.Permutations
 	src   workload.Source
-	Nodes map[int]*Node
 
-	// Membership runtime state (see membership.go). dead marks crashed
-	// nodes whose failure may not yet be repaired; memberEpoch counts
-	// membership changes; joinDegree bounds the tree degree used when
-	// re-attaching orphans' replacements and late joiners.
-	dead        map[int]bool
+	// nodes is the dense participant table; dead marks crashed nodes
+	// whose failure may not yet be repaired (see membership.go).
+	// memberEpoch counts membership changes; joinDegree bounds the tree
+	// degree used when re-attaching orphans' replacements and late
+	// joiners.
+	nodes       nodeset.Table[*Node]
+	dead        nodeset.Set
 	memberEpoch int
 	joinDegree  int
 	stopped     bool
@@ -177,8 +279,6 @@ func Deploy(net *netem.Network, tree *overlay.Tree, cfg Config, col *metrics.Col
 		col:   col,
 		perms: sketch.NewPermutations(sketch.DefaultEntries, net.Engine().Seed()^0x6d77),
 		src:   workload.Default(cfg.Workload, cfg.StreamRateKbps, cfg.PacketSize),
-		Nodes: make(map[int]*Node),
-		dead:  make(map[int]bool),
 	}
 	workload.InstallCompletion(sys.src, col)
 	for _, id := range tree.Participants {
@@ -190,7 +290,7 @@ func Deploy(net *netem.Network, tree *overlay.Tree, cfg Config, col *metrics.Col
 		sys.joinDegree = 2
 	}
 	// Kick off RanSub at the root, then the stream.
-	root := sys.Nodes[tree.Root]
+	root := sys.nodes.At(tree.Root)
 	root.agent.Start()
 	sys.scheduleSource(root)
 	return sys, nil
@@ -202,40 +302,42 @@ func (sys *System) Tree() *overlay.Tree { return sys.tree }
 // Collector returns the metrics sink.
 func (sys *System) Collector() *metrics.Collector { return sys.col }
 
+// Node returns the participant instance for id and whether one exists
+// (crashed nodes included).
+func (sys *System) Node(id int) (*Node, bool) { return sys.nodes.Get(id) }
+
 func (sys *System) addNode(id int) error {
 	parent := -1
 	if p, ok := sys.tree.Parent(id); ok {
 		parent = p
 	}
 	ep := transport.NewEndpoint(sys.net, id)
+	kids := sys.tree.Children(id)
 	n := &Node{
-		sys:       sys,
-		id:        id,
-		ep:        ep,
-		parent:    parent,
-		children:  make(map[int]*childInfo),
-		childIDs:  append([]int(nil), sys.tree.Children(id)...),
-		rng:       sys.eng.RNG(int64(id)*7919 + 0x42756c6c),
-		ws:        workset.New(),
-		ticket:    sketch.NewTicket(sys.perms),
-		filter:    bloom.NewForCapacity(int(sys.cfg.RecoveryWindow), sys.cfg.BloomFPRate),
-		arrivals:  make(map[uint64]sim.Time),
-		senders:   make(map[int]*senderInfo),
-		receivers: make(map[int]*recvPeerInfo),
-		pending:   -1,
-		lfDelta:   0.01,
+		sys:      sys,
+		id:       id,
+		ep:       ep,
+		parent:   parent,
+		children: make([]*childInfo, 0, len(kids)),
+		rng:      sys.eng.RNG(int64(id)*7919 + 0x42756c6c),
+		ws:       workset.New(),
+		ticket:   sketch.NewTicket(sys.perms),
+		filter:   bloom.NewForCapacity(int(sys.cfg.RecoveryWindow), sys.cfg.BloomFPRate),
+		arrivals: nodeset.NewSeqWindow(),
+		pending:  -1,
+		lfDelta:  0.01,
 	}
 	sys.col.Track(id)
-	for _, c := range n.childIDs {
+	for _, c := range kids {
 		f, err := ep.OpenFlow(c, sys.cfg.PacketSize)
 		if err != nil {
 			return err
 		}
 		f.TraceEvery = sys.cfg.TraceEvery
-		n.children[c] = &childInfo{node: c, flow: f, lf: 1.0,
-			filter: bloom.NewForCapacity(4096, 0.01)}
+		n.children = append(n.children, &childInfo{node: c, flow: f, lf: 1.0,
+			filter: bloom.NewForCapacity(4096, 0.01)})
 	}
-	n.agent = ransub.NewAgent(ep, sys.cfg.RanSub, parent, n.childIDs)
+	n.agent = ransub.NewAgent(ep, sys.cfg.RanSub, parent, kids)
 	n.agent.TicketFn = func() *sketch.Ticket { return n.ticket }
 	n.agent.OnDistribute = n.onDistribute
 	ep.OnData(n.onData)
@@ -250,7 +352,7 @@ func (sys *System) addNode(id int) error {
 	sys.eng.ScheduleAfter(sys.cfg.FilterRefresh+jitter, n.refreshFn)
 	sys.eng.ScheduleAfter(sys.cfg.EvalInterval+jitter, n.evalFn)
 	sys.eng.ScheduleAfter(sys.cfg.PumpInterval+jitter%sys.cfg.PumpInterval, n.pumpFn)
-	sys.Nodes[id] = n
+	sys.nodes.Put(id, n)
 	return nil
 }
 
@@ -270,7 +372,7 @@ func (sys *System) Workload() workload.Source { return sys.src }
 
 // Fail crashes node id (endpoint down, all timers inert).
 func (sys *System) Fail(id int) {
-	if n, ok := sys.Nodes[id]; ok {
+	if n, ok := sys.nodes.Get(id); ok {
 		n.ep.Fail()
 	}
 }
@@ -279,28 +381,30 @@ func (sys *System) Fail(id int) {
 // the elapsed run.
 func (sys *System) ControlOverheadKbps() float64 {
 	secs := sys.eng.Now().ToSeconds()
-	if secs == 0 || len(sys.Nodes) == 0 {
+	if secs == 0 || sys.nodes.Len() == 0 {
 		return 0
 	}
 	var total uint64
-	for _, n := range sys.Nodes {
+	sys.nodes.Range(func(_ int, n *Node) bool {
 		_, out := n.ep.ControlBytes()
 		total += out
-	}
-	return float64(total) * 8 / 1000 / secs / float64(len(sys.Nodes))
+		return true
+	})
+	return float64(total) * 8 / 1000 / secs / float64(sys.nodes.Len())
 }
 
 // MeanSenders returns the average current sender-list size (mesh
 // health diagnostic).
 func (sys *System) MeanSenders() float64 {
-	if len(sys.Nodes) == 0 {
+	if sys.nodes.Len() == 0 {
 		return 0
 	}
 	var total int
-	for _, n := range sys.Nodes {
+	sys.nodes.Range(func(_ int, n *Node) bool {
 		total += len(n.senders)
-	}
-	return float64(total) / float64(len(sys.Nodes))
+		return true
+	})
+	return float64(total) / float64(sys.nodes.Len())
 }
 
 // ---------------------------------------------------------------------
@@ -316,7 +420,7 @@ func (n *Node) onData(from int, seq uint64, size int) {
 		col.Add(now, n.id, metrics.Parent, size)
 	}
 	n.recvWindow += uint64(size)
-	si := n.senders[from]
+	si := n.findSender(from)
 	if n.ws.Contains(seq) {
 		col.Add(now, n.id, metrics.Duplicate, size)
 		switch {
@@ -352,7 +456,7 @@ func (n *Node) ingest(seq uint64, size int) {
 	n.ws.Add(seq)
 	n.ticket.Add(seq)
 	n.filter.Add(seq)
-	n.arrivals[seq] = n.sys.eng.Now()
+	n.arrivals.Set(seq, n.sys.eng.Now())
 	n.epochPkts++
 	n.feedReceivers(seq)
 	n.disjointSend(seq, size)
@@ -385,13 +489,12 @@ func (n *Node) feedReceivers(seq uint64) {
 // their limiting factors, transferring ownership if the owner's
 // transport refuses.
 func (n *Node) disjointSend(seq uint64, size int) {
-	if len(n.childIDs) == 0 {
+	if len(n.children) == 0 {
 		return
 	}
 	if !n.sys.cfg.DisjointSend {
 		// Figure 10 ablation: attempt to send everything to everyone.
-		for _, cid := range n.childIDs {
-			ci := n.children[cid]
+		for _, ci := range n.children {
 			if ci.filter.Contains(seq) {
 				continue
 			}
@@ -402,14 +505,13 @@ func (n *Node) disjointSend(seq uint64, size int) {
 		return
 	}
 	var total uint64
-	for _, cid := range n.childIDs {
-		total += n.children[cid].sentOwned
+	for _, ci := range n.children {
+		total += ci.sentOwned
 	}
 	// Owner: maximize sf_i - sent_i/total.
 	var owner *childInfo
 	best := math.Inf(-1)
-	for _, cid := range n.childIDs {
-		ci := n.children[cid]
+	for _, ci := range n.children {
 		prop := 0.0
 		if total > 0 {
 			prop = float64(ci.sentOwned) / float64(total)
@@ -425,8 +527,7 @@ func (n *Node) disjointSend(seq uint64, size int) {
 		owner.filter.Add(seq)
 		sent = true
 	}
-	for _, cid := range n.childIDs {
-		ci := n.children[cid]
+	for _, ci := range n.children {
 		if ci == owner && sent {
 			continue
 		}
@@ -482,17 +583,16 @@ func (n *Node) onDistribute(epoch int, set []ransub.Entry) {
 // epochHousekeeping updates sending factors from fresh descendant
 // counts and resets per-epoch ownership proportions.
 func (n *Node) epochHousekeeping() {
-	if len(n.childIDs) > 0 {
+	if len(n.children) > 0 {
 		total := 0
-		for _, cid := range n.childIDs {
-			total += n.agent.ChildSubtreeSize(cid)
+		for _, ci := range n.children {
+			total += n.agent.ChildSubtreeSize(ci.node)
 		}
-		for _, cid := range n.childIDs {
-			ci := n.children[cid]
+		for _, ci := range n.children {
 			if total > 0 {
-				ci.sf = float64(n.agent.ChildSubtreeSize(cid)) / float64(total)
+				ci.sf = float64(n.agent.ChildSubtreeSize(ci.node)) / float64(total)
 			} else {
-				ci.sf = 1 / float64(len(n.childIDs))
+				ci.sf = 1 / float64(len(n.children))
 			}
 			ci.sentOwned = 0
 			ci.filter.Reset()
@@ -517,10 +617,10 @@ func (n *Node) maybeRequestPeer() {
 		if e.Node == n.id || e.Node == n.parent {
 			continue
 		}
-		if n.sys.dead[e.Node] {
+		if n.sys.dead.Contains(e.Node) {
 			continue // skip peers known to have crashed
 		}
-		if _, dup := n.senders[e.Node]; dup {
+		if n.findSender(e.Node) != nil {
 			continue
 		}
 		candidates = append(candidates, e)
@@ -575,7 +675,7 @@ func (n *Node) onControl(from int, payload any, size int) {
 
 // onPeerRequest: a prospective receiver asks us to serve it.
 func (n *Node) onPeerRequest(from int, m *peerRequestMsg) {
-	if _, exists := n.receivers[from]; exists {
+	if n.findReceiver(from) != nil {
 		n.ep.SendControl(from, &peerAcceptMsg{}, smallMsgSize)
 		return
 	}
@@ -592,9 +692,9 @@ func (n *Node) onPeerRequest(from int, m *peerRequestMsg) {
 	rf := &recvPeerInfo{
 		node: from, flow: flow, filter: m.filter,
 		low: m.low, high: m.high, rows: 1, mod: 0,
-		sentSince: make(map[uint64]sim.Time),
+		sentSince: nodeset.NewSeqWindow(),
 	}
-	n.receivers[from] = rf
+	n.addReceiver(rf)
 	n.rebuildQueue(rf)
 	n.ep.SendControl(from, &peerAcceptMsg{}, smallMsgSize)
 }
@@ -604,7 +704,7 @@ func (n *Node) onPeerAccept(from int) {
 	if n.pending == from {
 		n.pending = -1
 	}
-	if _, dup := n.senders[from]; dup {
+	if n.findSender(from) != nil {
 		return
 	}
 	if len(n.senders) >= n.sys.cfg.MaxSenders {
@@ -612,7 +712,7 @@ func (n *Node) onPeerAccept(from int) {
 		n.ep.SendControl(from, &peerDropMsg{bySender: false}, smallMsgSize)
 		return
 	}
-	n.senders[from] = &senderInfo{node: from, mod: -1} // gets a free row
+	n.addSender(&senderInfo{node: from, mod: -1}) // gets a free row
 	n.reassignRows()
 	n.sendRefreshes()
 }
@@ -620,30 +720,25 @@ func (n *Node) onPeerAccept(from int) {
 // reassignRows keeps each sender on a distinct row of the Figure 4
 // sequence matrix (s = current sender count) while changing as few
 // existing assignments as possible, so membership churn does not
-// momentarily overlap every sender's row.
+// momentarily overlap every sender's row. The sender list is sorted by
+// node id, so conflict resolution order is deterministic.
 func (n *Node) reassignRows() {
 	s := len(n.senders)
-	ids := make([]int, 0, s)
-	for id := range n.senders {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
 	used := make([]bool, s)
-	var conflicted []int
-	for _, id := range ids {
-		m := n.senders[id].mod
-		if m >= 0 && m < s && !used[m] {
-			used[m] = true
+	var conflicted []*senderInfo
+	for _, si := range n.senders {
+		if si.mod >= 0 && si.mod < s && !used[si.mod] {
+			used[si.mod] = true
 		} else {
-			conflicted = append(conflicted, id)
+			conflicted = append(conflicted, si)
 		}
 	}
 	next := 0
-	for _, id := range conflicted {
+	for _, si := range conflicted {
 		for used[next] {
 			next++
 		}
-		n.senders[id].mod = next
+		si.mod = next
 		used[next] = true
 	}
 }
@@ -655,8 +750,8 @@ func (n *Node) sendRefreshes() {
 	if !n.sys.cfg.ModRows {
 		rows = 1
 	}
-	for _, id := range n.senderIDs() {
-		mod := n.senders[id].mod
+	for _, si := range n.senders {
+		mod := si.mod
 		if !n.sys.cfg.ModRows {
 			mod = 0
 		}
@@ -666,14 +761,14 @@ func (n *Node) sendRefreshes() {
 			mod: mod, rows: rows,
 			recvBytes: n.recvWindow,
 		}
-		n.ep.SendControl(id, msg, n.filter.SizeBytes()+32)
+		n.ep.SendControl(si.node, msg, n.filter.SizeBytes()+32)
 	}
 }
 
 // onFilterRefresh: one of our receivers updated its filter and range.
 func (n *Node) onFilterRefresh(from int, m *filterRefreshMsg) {
-	rf, ok := n.receivers[from]
-	if !ok {
+	rf := n.findReceiver(from)
+	if rf == nil {
 		return
 	}
 	rowChanged := m.mod != rf.mod || m.rows != rf.rows
@@ -685,12 +780,7 @@ func (n *Node) onFilterRefresh(from int, m *filterRefreshMsg) {
 	// filter has had time to reflect them; keep recent (in-flight)
 	// entries so a refresh does not trigger resends. Lost peer packets
 	// therefore retry after about one refresh cycle.
-	cutoff := n.sys.eng.Now() - 2*sim.Second
-	for seq, at := range rf.sentSince {
-		if at < cutoff {
-			delete(rf.sentSince, seq)
-		}
-	}
+	rf.sentSince.DeleteOlder(n.sys.eng.Now() - 2*sim.Second)
 	n.rebuildQueue(rf)
 	if rowChanged {
 		// Row handoff: the filter in this refresh cannot reflect what
@@ -715,7 +805,7 @@ func (n *Node) rebuildQueue(rf *recvPeerInfo) {
 		if rf.filter != nil && rf.filter.Contains(seq) {
 			return true
 		}
-		if _, dup := rf.sentSince[seq]; dup {
+		if rf.sentSince.Contains(seq) {
 			return true
 		}
 		if seq <= rf.high {
@@ -731,17 +821,16 @@ func (n *Node) rebuildQueue(rf *recvPeerInfo) {
 func (n *Node) onPeerDrop(from int, m *peerDropMsg) {
 	if m.bySender {
 		// Our sender dropped us.
-		if _, ok := n.senders[from]; ok {
-			delete(n.senders, from)
+		if n.removeSender(from) {
 			n.reassignRows()
 			n.sendRefreshes()
 		}
 		return
 	}
 	// Our receiver dropped us.
-	if rf, ok := n.receivers[from]; ok {
+	if rf := n.removeReceiver(from); rf != nil {
 		rf.flow.Close()
-		delete(n.receivers, from)
+		releaseReceiver(rf)
 	}
 }
 
@@ -749,37 +838,17 @@ func (n *Node) onPeerDrop(from int, m *peerDropMsg) {
 // Periodic maintenance
 // ---------------------------------------------------------------------
 
-// receiverIDs returns receiver peer ids in sorted order. Shared
-// emulated resources (link queues, budgets) make iteration order
-// behaviourally significant, so map order must never leak into the
-// simulation: runs are a pure function of (config, seed).
-func (n *Node) receiverIDs() []int {
-	ids := make([]int, 0, len(n.receivers))
-	for id := range n.receivers {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	return ids
-}
-
-// senderIDs returns sender peer ids in sorted order (see receiverIDs).
-func (n *Node) senderIDs() []int {
-	ids := make([]int, 0, len(n.senders))
-	for id := range n.senders {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	return ids
-}
-
 // pumpTick drains each receiver's candidate queue within the flow's
-// TFRC budget.
+// TFRC budget. Receivers are walked in ascending peer id order (the
+// list is maintained sorted): shared emulated resources (link queues,
+// budgets) make iteration order behaviourally significant, so runs are
+// a pure function of (config, seed).
 func (n *Node) pumpTick() {
 	if n.ep.Failed() {
 		return
 	}
-	for _, id := range n.receiverIDs() {
-		n.pumpReceiver(n.receivers[id])
+	for _, rf := range n.receivers {
+		n.pumpReceiver(rf)
 	}
 	n.sys.eng.ScheduleAfter(n.sys.cfg.PumpInterval, n.pumpFn)
 }
@@ -813,10 +882,13 @@ func (n *Node) drainQueue(rf *recvPeerInfo, q *[]uint64, gated bool) bool {
 		// Freshness gate: packets beyond the receiver's advertised High
 		// are served only once the parent stream has had its chance.
 		// The fresh queue is in arrival order, so the tail is fresher.
-		if gated && now-n.arrivals[seq] < n.sys.cfg.FreshnessDelay {
-			return true
+		if gated {
+			arrived, _ := n.arrivals.Get(seq)
+			if now-arrived < n.sys.cfg.FreshnessDelay {
+				return true
+			}
 		}
-		if _, dup := rf.sentSince[seq]; dup {
+		if rf.sentSince.Contains(seq) {
 			*q = (*q)[1:]
 			continue
 		}
@@ -828,7 +900,7 @@ func (n *Node) drainQueue(rf *recvPeerInfo, q *[]uint64, gated bool) bool {
 			return false // out of budget; keep the queue
 		}
 		*q = (*q)[1:]
-		rf.sentSince[seq] = now
+		rf.sentSince.Set(seq, now)
 		rf.sentBytes += uint64(size)
 	}
 	return true
@@ -879,11 +951,7 @@ func (n *Node) slideWindow() {
 	hi := n.ws.High()
 	if hi > n.sys.cfg.RecoveryWindow {
 		n.ws.TrimBelow(hi - n.sys.cfg.RecoveryWindow)
-		for seq := range n.arrivals {
-			if seq < n.ws.Low() {
-				delete(n.arrivals, seq)
-			}
-		}
+		n.arrivals.DeleteBelow(n.ws.Low())
 	}
 	n.filter.Reset()
 	n.ticket.Reset()
@@ -915,9 +983,8 @@ func (n *Node) evalSenders() {
 	}
 	var drop *senderInfo
 	// First: any sender above the duplicate threshold (ties broken by
-	// node id for determinism).
-	for _, id := range n.senderIDs() {
-		si := n.senders[id]
+	// node id for determinism — the list is sorted ascending).
+	for _, si := range n.senders {
 		total := si.usefulPkts + si.dupPkts
 		if total >= minEvalSample &&
 			float64(si.dupPkts)/float64(total) > n.sys.cfg.DuplicateThreshold {
@@ -929,15 +996,14 @@ func (n *Node) evalSenders() {
 	// Otherwise, when the list is full, the least useful sender makes
 	// room for a trial slot.
 	if drop == nil && len(n.senders) >= n.sys.cfg.MaxSenders {
-		for _, id := range n.senderIDs() {
-			si := n.senders[id]
+		for _, si := range n.senders {
 			if drop == nil || si.usefulBytes < drop.usefulBytes {
 				drop = si
 			}
 		}
 	}
 	if drop != nil {
-		delete(n.senders, drop.node)
+		n.removeSender(drop.node)
 		n.ep.SendControl(drop.node, &peerDropMsg{bySender: false}, smallMsgSize)
 		n.reassignRows()
 		n.sendRefreshes()
@@ -957,11 +1023,11 @@ func (n *Node) evalReceivers() {
 		return
 	}
 	// Drop the receiver acquiring the least portion of its bandwidth
-	// through us (ties broken by node id for determinism).
+	// through us (ties broken by node id for determinism — the list is
+	// sorted ascending).
 	var drop *recvPeerInfo
 	worst := math.Inf(1)
-	for _, id := range n.receiverIDs() {
-		rf := n.receivers[id]
+	for _, rf := range n.receivers {
 		portion := float64(rf.sentBytes) / math.Max(1, float64(rf.recvBytes))
 		if portion < worst {
 			worst = portion
@@ -970,7 +1036,8 @@ func (n *Node) evalReceivers() {
 	}
 	if drop != nil {
 		drop.flow.Close()
-		delete(n.receivers, drop.node)
+		n.removeReceiver(drop.node)
+		releaseReceiver(drop)
 		n.ep.SendControl(drop.node, &peerDropMsg{bySender: true}, smallMsgSize)
 	}
 	for _, rf := range n.receivers {

@@ -226,7 +226,7 @@ func TestSenderListBounded(t *testing.T) {
 	cfg.Start = 10 * sim.Second
 	cfg.Duration = 110 * sim.Second
 	sys, _ := runBullet(t, w, cfg, 120*sim.Second)
-	for id, n := range sys.Nodes {
+	sys.nodes.Range(func(id int, n *Node) bool {
 		if len(n.senders) > 3 {
 			t.Fatalf("node %d has %d senders (max 3)", id, len(n.senders))
 		}
@@ -238,7 +238,8 @@ func TestSenderListBounded(t *testing.T) {
 				t.Fatalf("node %d peered with self or parent", id)
 			}
 		}
-	}
+		return true
+	})
 }
 
 func TestRowAssignmentsDistinct(t *testing.T) {
@@ -247,7 +248,7 @@ func TestRowAssignmentsDistinct(t *testing.T) {
 	cfg.Start = 10 * sim.Second
 	cfg.Duration = 110 * sim.Second
 	sys, _ := runBullet(t, w, cfg, 120*sim.Second)
-	for id, n := range sys.Nodes {
+	sys.nodes.Range(func(id int, n *Node) bool {
 		mods := make(map[int]bool)
 		for _, si := range n.senders {
 			if si.mod < 0 || si.mod >= len(n.senders) {
@@ -258,7 +259,8 @@ func TestRowAssignmentsDistinct(t *testing.T) {
 			}
 			mods[si.mod] = true
 		}
-	}
+		return true
+	})
 }
 
 func TestConfigValidation(t *testing.T) {

@@ -34,7 +34,7 @@ func TestDebugDump(t *testing.T) {
 		var drops, q, sentBytes uint64
 		var dupP, dupS, dupO uint64
 		var nsend, nrecv int
-		for _, n := range sys.Nodes {
+		sys.nodes.Range(func(_ int, n *Node) bool {
 			drops += n.totalOwnDrops
 			dupP += n.dupFromParent
 			dupS += n.dupFromPeer
@@ -45,11 +45,12 @@ func TestDebugDump(t *testing.T) {
 				q += uint64(len(rf.holes) + len(rf.fresh))
 				sentBytes += rf.sentBytes
 			}
-		}
+			return true
+		})
 		st := w.net.Stats()
 		var peerRate, childRate float64
 		var npeer, nchild int
-		for _, n := range sys.Nodes {
+		sys.nodes.Range(func(_ int, n *Node) bool {
 			for _, rf := range n.receivers {
 				peerRate += rf.flow.Rate() * 8 / 1000
 				npeer++
@@ -58,7 +59,8 @@ func TestDebugDump(t *testing.T) {
 				childRate += ci.flow.Rate() * 8 / 1000
 				nchild++
 			}
-		}
+			return true
+		})
 		fmt.Printf("disjoint=%v useful=%.0f parent=%.0f raw=%.0f dup=%.3f senders=%.1f recvs=%.1f ownDrops=%d queued=%d congDrops=%d lossDrops=%d ctrl=%.1fKbps peerRate=%.0f childRate=%.0f\n",
 			disjoint, useful, parent, raw, col.DuplicateRatio(),
 			float64(nsend)/40, float64(nrecv)/40, drops, q,
@@ -67,7 +69,7 @@ func TestDebugDump(t *testing.T) {
 		// Flow-rate histogram and busiest-link utilization.
 		buckets := map[string]int{}
 		slowStart := 0
-		for _, n := range sys.Nodes {
+		sys.nodes.Range(func(_ int, n *Node) bool {
 			for _, rf := range n.receivers {
 				kbps := rf.flow.Rate() * 8 / 1000
 				switch {
@@ -84,7 +86,8 @@ func TestDebugDump(t *testing.T) {
 					slowStart++ // mislabeled: counts high-RTT flows
 				}
 			}
-		}
+			return true
+		})
 		var worstUtil float64
 		for i := range w.g.Links {
 			ab, ba := w.net.LinkUtilization(i)
@@ -95,14 +98,15 @@ func TestDebugDump(t *testing.T) {
 		}
 		var idle, blocked uint64
 		var cov float64
-		for _, n := range sys.Nodes {
+		sys.nodes.Range(func(_ int, n *Node) bool {
 			idle += n.pumpIdle
 			blocked += n.pumpBlocked
 			span := n.ws.High() - n.ws.Low() + 1
 			if span > 0 {
 				cov += float64(n.ws.Len()) / float64(span)
 			}
-		}
+			return true
+		})
 		fmt.Printf("  flows: %v highRTT=%d worstLinkUtil=%.2f dupParent=%d dupPeer=%d dupOther=%d pumpIdle=%d pumpBlocked=%d meanCoverage=%.2f\n",
 			buckets, slowStart, worstUtil, dupP, dupS, dupO, idle, blocked, cov/40)
 	}

@@ -44,10 +44,11 @@ func TestFDSweep(t *testing.T) {
 		}
 		eng.Run(150 * sim.Second)
 		var dupP, dupS uint64
-		for _, n := range sys.Nodes {
+		sys.nodes.Range(func(_ int, n *Node) bool {
 			dupP += n.dupFromParent
 			dupS += n.dupFromPeer
-		}
+			return true
+		})
 		fmt.Printf("fd=%v useful=%.0f dup=%.3f dupParent=%d dupPeer=%d\n",
 			fd.ToSeconds(),
 			col.MeanOver(70*sim.Second, 150*sim.Second, metrics.Useful),

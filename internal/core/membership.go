@@ -8,8 +8,8 @@ package core
 // crashed sender is detected.
 //
 // Every operation is deterministic: repairs run at fixed virtual-time
-// offsets from the crash, iterate nodes in sorted id order, and draw no
-// randomness, so a churn run remains a pure function of
+// offsets from the crash, iterate nodes in ascending id order, and
+// draw no randomness, so a churn run remains a pure function of
 // (config, seed, schedule).
 
 import (
@@ -32,20 +32,19 @@ func (sys *System) MemberEpoch() int { return sys.memberEpoch }
 
 // Live reports whether id is a current, non-crashed participant.
 func (sys *System) Live(id int) bool {
-	_, ok := sys.Nodes[id]
-	return ok && !sys.dead[id] && sys.tree.Contains(id)
+	return sys.nodes.Contains(id) && !sys.dead.Contains(id) && sys.tree.Contains(id)
 }
 
 // LiveNodes returns the ids of current non-crashed participants in
 // sorted order.
 func (sys *System) LiveNodes() []int {
-	ids := sys.nodeIDs()
-	out := ids[:0]
-	for _, id := range ids {
+	out := make([]int, 0, sys.nodes.Len())
+	sys.nodes.Range(func(id int, _ *Node) bool {
 		if sys.Live(id) {
 			out = append(out, id)
 		}
-	}
+		return true
+	})
 	return out
 }
 
@@ -55,25 +54,25 @@ func (sys *System) LiveNodes() []int {
 // node tears down mesh state involving it. The source (tree root)
 // cannot crash.
 func (sys *System) Crash(id int) error {
-	n, ok := sys.Nodes[id]
+	n, ok := sys.nodes.Get(id)
 	if !ok {
 		return fmt.Errorf("core: node %d is not a participant", id)
 	}
-	if sys.dead[id] {
+	if sys.dead.Contains(id) {
 		return fmt.Errorf("core: node %d already crashed", id)
 	}
 	if id == sys.tree.Root {
 		return fmt.Errorf("core: cannot crash the source (tree root %d)", id)
 	}
 	n.ep.Fail()
-	sys.dead[id] = true
+	sys.dead.Add(id)
 	sys.memberEpoch++
 	// The detection callback belongs to *this* crash: if the node was
-	// restarted (fresh *Node in sys.Nodes) and crashed again before
+	// restarted (fresh *Node in the table) and crashed again before
 	// this timer fires, the newer crash's own callback owns the repair
 	// — firing here early would violate the fixed detection delay.
 	sys.eng.ScheduleAfter(FailoverDelay, func() {
-		if sys.dead[id] && sys.Nodes[id] == n {
+		if sys.dead.Contains(id) && sys.nodes.At(id) == n {
 			sys.repair(id)
 		}
 	})
@@ -93,57 +92,53 @@ func (sys *System) repair(id int) {
 	if err != nil {
 		return // root: unreachable, Crash refuses it
 	}
-	parentLive := !sys.dead[p]
-	if pn, ok := sys.Nodes[p]; ok && parentLive {
+	parentLive := !sys.dead.Contains(p)
+	if pn, ok := sys.nodes.Get(p); ok && parentLive {
 		pn.removeChild(id)
 	}
 	for _, c := range promoted {
-		cn, ok := sys.Nodes[c]
+		cn, ok := sys.nodes.Get(c)
 		if !ok {
 			continue
 		}
 		cn.parent = p
 		cn.agent.SetParent(p)
-		if sys.dead[c] {
+		if sys.dead.Contains(c) {
 			// The orphan itself is dead: its own repair will promote
 			// its subtree again, so don't wire flows to it.
 			continue
 		}
-		if pn, ok := sys.Nodes[p]; ok && parentLive {
+		if pn, ok := sys.nodes.Get(p); ok && parentLive {
 			pn.addChild(c)
 		}
 	}
 	// Every live node drops the dead peer from its mesh and re-installs
-	// Bloom filters at the survivors. Sorted order: map iteration must
-	// never leak into the simulation.
-	for _, nid := range sys.nodeIDs() {
-		if nid == id || sys.dead[nid] {
-			continue
+	// Bloom filters at the survivors, in ascending id order.
+	sys.nodes.Range(func(nid int, n *Node) bool {
+		if nid != id && !sys.dead.Contains(nid) {
+			n.dropDeadPeer(id)
 		}
-		sys.Nodes[nid].dropDeadPeer(id)
-	}
+		return true
+	})
 }
-
-// nodeIDs returns all participant ids (live and dead) sorted.
-func (sys *System) nodeIDs() []int { return member.SortedIDs(sys.Nodes) }
 
 // Restart brings a crashed node back as a fresh participant: empty
 // working set, new endpoint, re-attached at the deterministic join
 // point. If the crash had not been detected yet the repair runs first,
 // so the stale tree position is cleaned up before the rejoin.
 func (sys *System) Restart(id int) error {
-	if !sys.dead[id] {
+	if !sys.dead.Contains(id) {
 		return fmt.Errorf("core: node %d is not crashed", id)
 	}
 	if sys.tree.Contains(id) {
 		sys.repair(id)
 	}
-	delete(sys.dead, id)
+	sys.dead.Remove(id)
 	if err := sys.join(id); err != nil {
 		// No live attach point right now (e.g. every neighbor is itself
 		// crashed and undetected). The node stays crashed so a later
 		// Restart can retry.
-		sys.dead[id] = true
+		sys.dead.Add(id)
 		return err
 	}
 	return nil
@@ -154,7 +149,7 @@ func (sys *System) Restart(id int) error {
 // degree). The id must name a topology node that is not currently a
 // live participant; a crashed node must use Restart instead.
 func (sys *System) Join(id int) error {
-	if sys.dead[id] {
+	if sys.dead.Contains(id) {
 		return fmt.Errorf("core: node %d crashed; use Restart", id)
 	}
 	if sys.tree.Contains(id) {
@@ -167,7 +162,7 @@ func (sys *System) Join(id int) error {
 // is live — a join point must actually receive the stream, not merely
 // be alive inside a dead, not-yet-repaired subtree.
 func (sys *System) connected(n int) bool {
-	return sys.tree.ConnectedToRoot(n, func(x int) bool { return !sys.dead[x] })
+	return sys.tree.ConnectedToRoot(n, func(x int) bool { return !sys.dead.Contains(x) })
 }
 
 func (sys *System) join(id int) error {
@@ -181,7 +176,7 @@ func (sys *System) join(id int) error {
 	if err := sys.addNode(id); err != nil {
 		return err
 	}
-	sys.Nodes[ap].addChild(id)
+	sys.nodes.At(ap).addChild(id)
 	sys.memberEpoch++
 	return nil
 }
@@ -196,10 +191,10 @@ func (sys *System) Stop() {
 	sys.stopped = true
 	// Quiesce the RanSub root first: its epoch/timeout timers would
 	// otherwise re-arm forever even with every endpoint down.
-	if root, ok := sys.Nodes[sys.tree.Root]; ok {
+	if root, ok := sys.nodes.Get(sys.tree.Root); ok {
 		root.agent.Stop()
 	}
-	member.StopAll(sys.Nodes, sys.dead, func(id int) { sys.Nodes[id].ep.Fail() })
+	member.StopTable(&sys.nodes, &sys.dead, func(id int) { sys.nodes.At(id).ep.Fail() })
 }
 
 // Stopped reports whether Stop was called.
@@ -212,14 +207,11 @@ func (sys *System) Stopped() bool { return sys.stopped }
 // removeChild forgets a tree child: its flow closes and the RanSub
 // agent stops waiting for its collects.
 func (n *Node) removeChild(c int) {
-	if ci, ok := n.children[c]; ok {
-		ci.flow.Close()
-		delete(n.children, c)
-		for i, x := range n.childIDs {
-			if x == c {
-				n.childIDs = append(n.childIDs[:i], n.childIDs[i+1:]...)
-				break
-			}
+	for i, ci := range n.children {
+		if ci.node == c {
+			ci.flow.Close()
+			n.children = append(n.children[:i], n.children[i+1:]...)
+			break
 		}
 	}
 	n.agent.RemoveChild(c)
@@ -228,7 +220,7 @@ func (n *Node) removeChild(c int) {
 // addChild wires a new tree child: fresh flow, default sending/limiting
 // factors (refined at the next RanSub epoch), RanSub membership.
 func (n *Node) addChild(c int) {
-	if _, ok := n.children[c]; ok {
+	if n.findChild(c) != nil {
 		return
 	}
 	f, err := n.ep.OpenFlow(c, n.sys.cfg.PacketSize)
@@ -236,9 +228,8 @@ func (n *Node) addChild(c int) {
 		return
 	}
 	f.TraceEvery = n.sys.cfg.TraceEvery
-	n.children[c] = &childInfo{node: c, flow: f, lf: 1.0,
-		filter: bloom.NewForCapacity(4096, 0.01)}
-	n.childIDs = append(n.childIDs, c)
+	n.children = append(n.children, &childInfo{node: c, flow: f, lf: 1.0,
+		filter: bloom.NewForCapacity(4096, 0.01)})
 	n.agent.AddChild(c)
 }
 
@@ -249,17 +240,16 @@ func (n *Node) addChild(c int) {
 // re-install"), and an immediate attempt to fill the slot from the
 // latest RanSub set.
 func (n *Node) dropDeadPeer(id int) {
-	if rf, ok := n.receivers[id]; ok {
+	if rf := n.removeReceiver(id); rf != nil {
 		rf.flow.Close()
-		delete(n.receivers, id)
+		releaseReceiver(rf)
 	}
 	if n.pending == id {
 		n.pending = -1
 	}
-	if _, ok := n.senders[id]; !ok {
+	if !n.removeSender(id) {
 		return
 	}
-	delete(n.senders, id)
 	n.reassignRows()
 	n.sendRefreshes()
 	n.maybeRequestPeer()

@@ -2,16 +2,25 @@ package core
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 )
 
 // mkNode builds a bare node with the given sender IDs and mods, for
-// unit-testing row assignment logic without a network.
+// unit-testing row assignment logic without a network. Senders are
+// inserted via addSender so the list ordering invariant (ascending by
+// node id) holds, whatever order the map yields.
 func mkNode(mods map[int]int) *Node {
-	n := &Node{senders: make(map[int]*senderInfo)}
-	for id, mod := range mods {
-		n.senders[id] = &senderInfo{node: id, mod: mod}
+	n := &Node{}
+	ids := make([]int, 0, len(mods))
+	for id := range mods {
+		ids = append(ids, id)
+	}
+	// Insert in reverse sorted order to exercise the sorted insert.
+	sort.Sort(sort.Reverse(sort.IntSlice(ids)))
+	for _, id := range ids {
+		n.addSender(&senderInfo{node: id, mod: mods[id]})
 	}
 	return n
 }
@@ -20,9 +29,14 @@ func assertPermutation(t *testing.T, n *Node) {
 	t.Helper()
 	s := len(n.senders)
 	seen := make(map[int]bool)
-	for id, si := range n.senders {
+	prev := -1
+	for _, si := range n.senders {
+		if si.node <= prev {
+			t.Fatalf("sender list not sorted: %d after %d", si.node, prev)
+		}
+		prev = si.node
 		if si.mod < 0 || si.mod >= s {
-			t.Fatalf("sender %d mod %d out of [0,%d)", id, si.mod, s)
+			t.Fatalf("sender %d mod %d out of [0,%d)", si.node, si.mod, s)
 		}
 		if seen[si.mod] {
 			t.Fatalf("duplicate mod %d", si.mod)
@@ -43,12 +57,12 @@ func TestReassignRowsStability(t *testing.T) {
 	n := mkNode(map[int]int{10: 0, 20: 2, 30: 1, 40: -1})
 	n.reassignRows()
 	assertPermutation(t, n)
-	if n.senders[10].mod != 0 || n.senders[20].mod != 2 || n.senders[30].mod != 1 {
+	if n.findSender(10).mod != 0 || n.findSender(20).mod != 2 || n.findSender(30).mod != 1 {
 		t.Fatalf("stable mods changed: %v %v %v",
-			n.senders[10].mod, n.senders[20].mod, n.senders[30].mod)
+			n.findSender(10).mod, n.findSender(20).mod, n.findSender(30).mod)
 	}
-	if n.senders[40].mod != 3 {
-		t.Fatalf("new sender got mod %d, want 3", n.senders[40].mod)
+	if n.findSender(40).mod != 3 {
+		t.Fatalf("new sender got mod %d, want 3", n.findSender(40).mod)
 	}
 }
 
@@ -59,11 +73,11 @@ func TestReassignRowsAfterShrink(t *testing.T) {
 	n.reassignRows()
 	assertPermutation(t, n)
 	// The sender whose mod was in range (1) must be untouched.
-	if n.senders[20].mod != 1 {
-		t.Fatalf("in-range mod changed to %d", n.senders[20].mod)
+	if n.findSender(20).mod != 1 {
+		t.Fatalf("in-range mod changed to %d", n.findSender(20).mod)
 	}
-	if n.senders[30].mod != 0 {
-		t.Fatalf("out-of-range sender remapped to %d, want 0", n.senders[30].mod)
+	if n.findSender(30).mod != 0 {
+		t.Fatalf("out-of-range sender remapped to %d, want 0", n.findSender(30).mod)
 	}
 }
 
@@ -75,9 +89,9 @@ func TestReassignRowsProperty(t *testing.T) {
 		if len(raw) == 0 || len(raw) > 12 {
 			return true
 		}
-		n := &Node{senders: make(map[int]*senderInfo)}
+		n := &Node{}
 		for i, m := range raw {
-			n.senders[100+i] = &senderInfo{node: 100 + i, mod: int(m % 16)}
+			n.addSender(&senderInfo{node: 100 + i, mod: int(m % 16)})
 		}
 		n.reassignRows()
 		s := len(n.senders)
@@ -98,14 +112,14 @@ func TestReassignRowsProperty(t *testing.T) {
 func TestRotateRowsPreservesPermutation(t *testing.T) {
 	n := mkNode(map[int]int{10: 0, 20: 1, 30: 2, 40: 3})
 	before := map[int]int{}
-	for id, si := range n.senders {
-		before[id] = si.mod
+	for _, si := range n.senders {
+		before[si.node] = si.mod
 	}
 	n.rotateRows()
 	assertPermutation(t, n)
-	for id, si := range n.senders {
-		if si.mod != (before[id]+1)%4 {
-			t.Fatalf("sender %d rotated %d -> %d", id, before[id], si.mod)
+	for _, si := range n.senders {
+		if si.mod != (before[si.node]+1)%4 {
+			t.Fatalf("sender %d rotated %d -> %d", si.node, before[si.node], si.mod)
 		}
 	}
 }
@@ -113,7 +127,36 @@ func TestRotateRowsPreservesPermutation(t *testing.T) {
 func TestRotateRowsSingleSenderNoop(t *testing.T) {
 	n := mkNode(map[int]int{10: 0})
 	n.rotateRows()
-	if n.senders[10].mod != 0 {
+	if n.findSender(10).mod != 0 {
 		t.Fatal("single sender rotated")
+	}
+}
+
+// The sorted-insert/find/remove helpers back every peer-list operation;
+// pin their invariants directly.
+func TestSenderListHelpers(t *testing.T) {
+	n := &Node{}
+	for _, id := range []int{5, 1, 9, 3, 7} {
+		n.addSender(&senderInfo{node: id})
+	}
+	want := []int{1, 3, 5, 7, 9}
+	for i, si := range n.senders {
+		if si.node != want[i] {
+			t.Fatalf("senders[%d]=%d want %d", i, si.node, want[i])
+		}
+	}
+	if n.findSender(3) == nil || n.findSender(4) != nil {
+		t.Fatal("findSender broken")
+	}
+	if !n.removeSender(5) || n.removeSender(5) {
+		t.Fatal("removeSender broken")
+	}
+	if len(n.senders) != 4 || n.findSender(5) != nil {
+		t.Fatal("removal left stale state")
+	}
+	for i, si := range n.senders {
+		if si.node != []int{1, 3, 7, 9}[i] {
+			t.Fatalf("order broken after removal: %d at %d", si.node, i)
+		}
 	}
 }

@@ -14,6 +14,12 @@
 // full group membership, reuse Bullet's Bloom filters and TFRC
 // transport, use 5 gossip targets per round (experimentally best
 // there), and a 20 s anti-entropy epoch so TFRC can ramp up.
+//
+// Per-node state is nodeset-backed: participants live in dense
+// node-id-indexed tables, and the lazily-opened per-peer repair flows
+// are slices indexed by participant position (the same index the
+// uniform random peer draw produces), so the per-packet push path
+// neither hashes nor allocates.
 package epidemic
 
 import (
@@ -24,6 +30,7 @@ import (
 	"bullet/internal/member"
 	"bullet/internal/metrics"
 	"bullet/internal/netem"
+	"bullet/internal/nodeset"
 	"bullet/internal/overlay"
 	"bullet/internal/sim"
 	"bullet/internal/transport"
@@ -47,26 +54,45 @@ type GossipConfig struct {
 	Sink workload.Sink
 }
 
+// flowSlots holds a node's lazily-opened per-peer flows, indexed by
+// participant position (the index the uniform random peer draw
+// yields). The slice grows as the participant list grows (late joins).
+type flowSlots []*transport.Flow
+
+func (s flowSlots) at(i int) *transport.Flow {
+	if i >= len(s) {
+		return nil
+	}
+	return s[i]
+}
+
+func (s *flowSlots) set(i int, f *transport.Flow) {
+	for i >= len(*s) {
+		*s = append(*s, nil)
+	}
+	(*s)[i] = f
+}
+
 type gossipNode struct {
 	ep    *transport.Endpoint
 	id    int
 	seen  *workset.Set
-	flows map[int]*transport.Flow
+	flows flowSlots
 	rng   *rand.Rand
 }
 
 // GossipSystem is a deployed push-gossip overlay.
 type GossipSystem struct {
-	Nodes        map[int]*gossipNode
 	participants []int
 	cfg          GossipConfig
 	col          *metrics.Collector
 	eng          *sim.Engine
 	src          workload.Source
 
+	nodes   nodeset.Table[*gossipNode]
 	net     *netem.Network
 	source  int
-	dead    map[int]bool
+	dead    nodeset.Set
 	epoch   int
 	stopped bool
 }
@@ -84,33 +110,30 @@ func DeployGossip(net *netem.Network, participants []int, source int, cfg Gossip
 		return nil, fmt.Errorf("epidemic: rate %v", cfg.RateKbps)
 	}
 	sys := &GossipSystem{
-		Nodes:        make(map[int]*gossipNode),
 		participants: append([]int(nil), participants...),
 		cfg:          cfg,
 		col:          col,
 		eng:          net.Engine(),
 		net:          net,
 		source:       source,
-		dead:         make(map[int]bool),
 		src:          workload.Default(cfg.Workload, cfg.RateKbps, cfg.PacketSize),
 	}
 	workload.InstallCompletion(sys.src, col)
 	for _, id := range participants {
 		n := &gossipNode{
-			ep:    transport.NewEndpoint(net, id),
-			id:    id,
-			seen:  workset.New(),
-			flows: make(map[int]*transport.Flow),
-			rng:   net.Engine().RNG(int64(id)*31337 + 0x676f73),
+			ep:   transport.NewEndpoint(net, id),
+			id:   id,
+			seen: workset.New(),
+			rng:  net.Engine().RNG(int64(id)*31337 + 0x676f73),
 		}
 		col.Track(id)
 		id := id
 		n.ep.OnData(func(from int, seq uint64, size int) { sys.onData(id, from, seq, size) })
-		sys.Nodes[id] = n
+		sys.nodes.Put(id, n)
 	}
 	// Source pump: packet generation is owned by the workload layer.
 	end := cfg.Start + cfg.Duration
-	srcNode := sys.Nodes[source]
+	srcNode := sys.nodes.At(source)
 	workload.Pump(sys.eng, sys.src, cfg.Start,
 		func() bool { return sys.eng.Now() >= end || sys.stopped },
 		func(seq uint64, size int) {
@@ -128,25 +151,26 @@ func (sys *GossipSystem) Workload() workload.Source { return sys.src }
 // flows (created lazily and reused).
 func (sys *GossipSystem) push(n *gossipNode, seq uint64, size int) {
 	for i := 0; i < sys.cfg.Fanout; i++ {
-		peer := sys.participants[n.rng.Intn(len(sys.participants))]
+		pi := n.rng.Intn(len(sys.participants))
+		peer := sys.participants[pi]
 		if peer == n.id {
 			continue
 		}
-		f := n.flows[peer]
+		f := n.flows.at(pi)
 		if f == nil {
 			var err error
 			f, err = n.ep.OpenFlow(peer, sys.cfg.PacketSize)
 			if err != nil {
 				continue
 			}
-			n.flows[peer] = f
+			n.flows.set(pi, f)
 		}
 		f.TrySend(seq, size)
 	}
 }
 
 func (sys *GossipSystem) onData(id, from int, seq uint64, size int) {
-	n := sys.Nodes[id]
+	n := sys.nodes.At(id)
 	now := sys.eng.Now()
 	sys.col.Add(now, id, metrics.Raw, size)
 	if n.seen.Add(seq) {
@@ -168,41 +192,40 @@ func (sys *GossipSystem) MemberEpoch() int { return sys.epoch }
 
 // Live reports whether id is a current non-crashed participant.
 func (sys *GossipSystem) Live(id int) bool {
-	_, ok := sys.Nodes[id]
-	return ok && !sys.dead[id]
+	return sys.nodes.Contains(id) && !sys.dead.Contains(id)
 }
 
 // LiveNodes returns current non-crashed participant ids sorted.
-func (sys *GossipSystem) LiveNodes() []int { return member.LiveIDs(sys.Nodes, sys.dead) }
+func (sys *GossipSystem) LiveNodes() []int { return member.LiveTableIDs(&sys.nodes, &sys.dead) }
 
 // Crash fails node id; peers keep pushing to it (membership is static
 // gossip state) and those packets are lost. The source cannot crash.
 func (sys *GossipSystem) Crash(id int) error {
-	n, ok := sys.Nodes[id]
+	n, ok := sys.nodes.Get(id)
 	if !ok {
 		return fmt.Errorf("epidemic: node %d is not a participant", id)
 	}
-	if sys.dead[id] {
+	if sys.dead.Contains(id) {
 		return fmt.Errorf("epidemic: node %d already crashed", id)
 	}
 	if id == sys.source {
 		return fmt.Errorf("epidemic: cannot crash the source %d", id)
 	}
 	n.ep.Fail()
-	sys.dead[id] = true
+	sys.dead.Add(id)
 	sys.epoch++
 	return nil
 }
 
 // Restart brings a crashed gossip node back; its flows reopen lazily.
 func (sys *GossipSystem) Restart(id int) error {
-	n, ok := sys.Nodes[id]
-	if !ok || !sys.dead[id] {
+	n, ok := sys.nodes.Get(id)
+	if !ok || !sys.dead.Contains(id) {
 		return fmt.Errorf("epidemic: node %d is not crashed", id)
 	}
 	n.ep.Restart()
-	n.flows = make(map[int]*transport.Flow) // Fail closed them; reopen lazily
-	delete(sys.dead, id)
+	clear(n.flows) // Fail closed them; reopen lazily
+	sys.dead.Remove(id)
 	sys.epoch++
 	return nil
 }
@@ -210,22 +233,21 @@ func (sys *GossipSystem) Restart(id int) error {
 // Join adds a brand-new gossip participant; every node's future random
 // peer choices may select it.
 func (sys *GossipSystem) Join(id int) error {
-	if _, ok := sys.Nodes[id]; ok {
-		if sys.dead[id] {
+	if sys.nodes.Contains(id) {
+		if sys.dead.Contains(id) {
 			return fmt.Errorf("epidemic: node %d crashed; use Restart", id)
 		}
 		return fmt.Errorf("epidemic: node %d is already a participant", id)
 	}
 	n := &gossipNode{
-		ep:    transport.NewEndpoint(sys.net, id),
-		id:    id,
-		seen:  workset.New(),
-		flows: make(map[int]*transport.Flow),
-		rng:   sys.eng.RNG(int64(id)*31337 + 0x676f73),
+		ep:   transport.NewEndpoint(sys.net, id),
+		id:   id,
+		seen: workset.New(),
+		rng:  sys.eng.RNG(int64(id)*31337 + 0x676f73),
 	}
 	sys.col.Track(id)
 	n.ep.OnData(func(from int, seq uint64, size int) { sys.onData(id, from, seq, size) })
-	sys.Nodes[id] = n
+	sys.nodes.Put(id, n)
 	sys.participants = append(sys.participants, id)
 	sys.epoch++
 	return nil
@@ -237,7 +259,7 @@ func (sys *GossipSystem) Stop() {
 		return
 	}
 	sys.stopped = true
-	member.StopAll(sys.Nodes, sys.dead, func(id int) { sys.Nodes[id].ep.Fail() })
+	member.StopTable(&sys.nodes, &sys.dead, func(id int) { sys.nodes.At(id).ep.Fail() })
 }
 
 // ---------------------------------------------------------------------
@@ -275,9 +297,11 @@ type aeNode struct {
 	parent   int
 	children []int
 	seen     *workset.Set
-	flows    map[int]*transport.Flow // tree + repair flows
-	rng      *rand.Rand
-	roundFn  func() // cached aeRound closure: one alloc per node, not per epoch
+	// flows holds tree + repair flows, indexed by participant position
+	// (see AntiEntropySystem.pindex).
+	flows   flowSlots
+	rng     *rand.Rand
+	roundFn func() // cached aeRound closure: one alloc per node, not per epoch
 
 	// roundDead marks that the periodic round chain ended because a
 	// tick fired while the node was crashed. Restart re-arms the chain
@@ -288,7 +312,6 @@ type aeNode struct {
 
 // AntiEntropySystem is a deployed streaming + anti-entropy overlay.
 type AntiEntropySystem struct {
-	Nodes        map[int]*aeNode
 	participants []int
 	tree         *overlay.Tree
 	cfg          AntiEntropyConfig
@@ -296,8 +319,12 @@ type AntiEntropySystem struct {
 	eng          *sim.Engine
 	src          workload.Source
 
+	nodes nodeset.Table[*aeNode]
+	// pindex maps node id -> position in participants, the per-node
+	// flow-slot index.
+	pindex     nodeset.Table[int]
 	net        *netem.Network
-	dead       map[int]bool
+	dead       nodeset.Set
 	epoch      int
 	joinDegree int
 	stopped    bool
@@ -322,17 +349,18 @@ func DeployAntiEntropy(net *netem.Network, tree *overlay.Tree, cfg AntiEntropyCo
 		return nil, fmt.Errorf("epidemic: rate %v", cfg.RateKbps)
 	}
 	sys := &AntiEntropySystem{
-		Nodes:        make(map[int]*aeNode),
 		participants: append([]int(nil), tree.Participants...),
 		tree:         tree,
 		cfg:          cfg,
 		col:          col,
 		eng:          net.Engine(),
 		net:          net,
-		dead:         make(map[int]bool),
 		src:          workload.Default(cfg.Workload, cfg.RateKbps, cfg.PacketSize),
 	}
 	workload.InstallCompletion(sys.src, col)
+	for i, id := range sys.participants {
+		sys.pindex.Put(id, i)
+	}
 	for _, id := range tree.Participants {
 		parent := -1
 		if p, ok := tree.Parent(id); ok {
@@ -344,7 +372,6 @@ func DeployAntiEntropy(net *netem.Network, tree *overlay.Tree, cfg AntiEntropyCo
 			parent:   parent,
 			children: tree.Children(id),
 			seen:     workset.New(),
-			flows:    make(map[int]*transport.Flow),
 			rng:      net.Engine().RNG(int64(id)*271828 + 0x6165),
 		}
 		col.Track(id)
@@ -353,12 +380,12 @@ func DeployAntiEntropy(net *netem.Network, tree *overlay.Tree, cfg AntiEntropyCo
 			if err != nil {
 				return nil, err
 			}
-			n.flows[c] = f
+			n.flows.set(sys.pindex.At(c), f)
 		}
 		id := id
 		n.ep.OnData(func(from int, seq uint64, size int) { sys.onData(id, from, seq, size) })
 		n.ep.OnControl(func(from int, payload any, size int) { sys.onControl(id, from, payload) })
-		sys.Nodes[id] = n
+		sys.nodes.Put(id, n)
 		// Anti-entropy rounds, de-phased per node.
 		n.roundFn = func() { sys.aeRound(id) }
 		jitter := sim.Duration(n.rng.Int63n(int64(cfg.Epoch)))
@@ -369,16 +396,23 @@ func DeployAntiEntropy(net *netem.Network, tree *overlay.Tree, cfg AntiEntropyCo
 	}
 	// Source pump: packet generation is owned by the workload layer.
 	end := cfg.Start + cfg.Duration
-	root := sys.Nodes[tree.Root]
+	root := sys.nodes.At(tree.Root)
 	workload.Pump(sys.eng, sys.src, cfg.Start,
 		func() bool { return sys.eng.Now() >= end || sys.stopped },
 		func(seq uint64, size int) {
 			root.seen.Add(seq)
-			for _, c := range root.children {
-				root.flows[c].TrySend(seq, size)
-			}
+			sys.forward(root, seq, size)
 		})
 	return sys, nil
+}
+
+// forward pushes the packet to every tree child.
+func (sys *AntiEntropySystem) forward(n *aeNode, seq uint64, size int) {
+	for _, c := range n.children {
+		if f := n.flows.at(sys.pindex.At(c)); f != nil {
+			f.TrySend(seq, size)
+		}
+	}
 }
 
 // Workload returns the source driving this deployment's packet
@@ -386,7 +420,7 @@ func DeployAntiEntropy(net *netem.Network, tree *overlay.Tree, cfg AntiEntropyCo
 func (sys *AntiEntropySystem) Workload() workload.Source { return sys.src }
 
 func (sys *AntiEntropySystem) onData(id, from int, seq uint64, size int) {
-	n := sys.Nodes[id]
+	n := sys.nodes.At(id)
 	now := sys.eng.Now()
 	sys.col.Add(now, id, metrics.Raw, size)
 	if from == n.parent {
@@ -400,14 +434,12 @@ func (sys *AntiEntropySystem) onData(id, from int, seq uint64, size int) {
 	if s := sys.cfg.Sink; s != nil {
 		s.Deliver(now, id, seq)
 	}
-	for _, c := range n.children {
-		n.flows[c].TrySend(seq, size)
-	}
+	sys.forward(n, seq, size)
 }
 
 // aeRound sends this node's digest to a few random peers.
 func (sys *AntiEntropySystem) aeRound(id int) {
-	n := sys.Nodes[id]
+	n := sys.nodes.At(id)
 	if n.ep.Failed() {
 		n.roundDead = true
 		return
@@ -438,15 +470,19 @@ func (sys *AntiEntropySystem) onControl(id, from int, payload any) {
 	if !ok {
 		return
 	}
-	n := sys.Nodes[id]
-	f := n.flows[from]
+	n := sys.nodes.At(id)
+	pi, ok := sys.pindex.Get(from)
+	if !ok {
+		return // digest from a non-participant: ignore
+	}
+	f := n.flows.at(pi)
 	if f == nil {
 		var err error
 		f, err = n.ep.OpenFlow(from, sys.cfg.PacketSize)
 		if err != nil {
 			return
 		}
-		n.flows[from] = f
+		n.flows.set(pi, f)
 	}
 	// Serve from newest to oldest until the flow budget runs out.
 	var pendingHi uint64
@@ -487,28 +523,27 @@ func (sys *AntiEntropySystem) MemberEpoch() int { return sys.epoch }
 
 // Live reports whether id is a current non-crashed participant.
 func (sys *AntiEntropySystem) Live(id int) bool {
-	_, ok := sys.Nodes[id]
-	return ok && !sys.dead[id]
+	return sys.nodes.Contains(id) && !sys.dead.Contains(id)
 }
 
 // LiveNodes returns current non-crashed participant ids sorted.
-func (sys *AntiEntropySystem) LiveNodes() []int { return member.LiveIDs(sys.Nodes, sys.dead) }
+func (sys *AntiEntropySystem) LiveNodes() []int { return member.LiveTableIDs(&sys.nodes, &sys.dead) }
 
 // Crash fails node id; its subtree stops receiving the stream but
 // survivors' anti-entropy rounds continue. The source cannot crash.
 func (sys *AntiEntropySystem) Crash(id int) error {
-	n, ok := sys.Nodes[id]
+	n, ok := sys.nodes.Get(id)
 	if !ok {
 		return fmt.Errorf("epidemic: node %d is not a participant", id)
 	}
-	if sys.dead[id] {
+	if sys.dead.Contains(id) {
 		return fmt.Errorf("epidemic: node %d already crashed", id)
 	}
 	if id == sys.tree.Root {
 		return fmt.Errorf("epidemic: cannot crash the source %d", id)
 	}
 	n.ep.Fail()
-	sys.dead[id] = true
+	sys.dead.Add(id)
 	sys.epoch++
 	return nil
 }
@@ -517,20 +552,20 @@ func (sys *AntiEntropySystem) Crash(id int) error {
 // reopen, repair flows reopen lazily, and its anti-entropy rounds
 // resume (backfilling what it missed from random peers).
 func (sys *AntiEntropySystem) Restart(id int) error {
-	n, ok := sys.Nodes[id]
-	if !ok || !sys.dead[id] {
+	n, ok := sys.nodes.Get(id)
+	if !ok || !sys.dead.Contains(id) {
 		return fmt.Errorf("epidemic: node %d is not crashed", id)
 	}
 	n.ep.Restart()
-	n.flows = make(map[int]*transport.Flow)
+	clear(n.flows)
 	for _, c := range n.children {
 		f, err := n.ep.OpenFlow(c, sys.cfg.PacketSize)
 		if err != nil {
 			return err
 		}
-		n.flows[c] = f
+		n.flows.set(sys.pindex.At(c), f)
 	}
-	delete(sys.dead, id)
+	sys.dead.Remove(id)
 	sys.epoch++
 	// Re-arm the round chain only if it actually ended while the node
 	// was down; otherwise the pre-crash timer is still pending and will
@@ -545,14 +580,14 @@ func (sys *AntiEntropySystem) Restart(id int) error {
 // connected reports whether n and every tree ancestor up to the root
 // is live (see streamer.System.connected).
 func (sys *AntiEntropySystem) connected(n int) bool {
-	return sys.tree.ConnectedToRoot(n, func(x int) bool { return !sys.dead[x] })
+	return sys.tree.ConnectedToRoot(n, func(x int) bool { return !sys.dead.Contains(x) })
 }
 
 // Join attaches a brand-new participant at the deterministic join point
 // and starts its anti-entropy rounds.
 func (sys *AntiEntropySystem) Join(id int) error {
-	if _, ok := sys.Nodes[id]; ok {
-		if sys.dead[id] {
+	if sys.nodes.Contains(id) {
+		if sys.dead.Contains(id) {
 			return fmt.Errorf("epidemic: node %d crashed; use Restart", id)
 		}
 		return fmt.Errorf("epidemic: node %d is already a participant", id)
@@ -569,25 +604,25 @@ func (sys *AntiEntropySystem) Join(id int) error {
 		id:     id,
 		parent: ap,
 		seen:   workset.New(),
-		flows:  make(map[int]*transport.Flow),
 		rng:    sys.eng.RNG(int64(id)*271828 + 0x6165),
 	}
 	sys.col.Track(id)
 	n.ep.OnData(func(from int, seq uint64, size int) { sys.onData(id, from, seq, size) })
 	n.ep.OnControl(func(from int, payload any, size int) { sys.onControl(id, from, payload) })
-	sys.Nodes[id] = n
+	sys.nodes.Put(id, n)
+	sys.pindex.Put(id, len(sys.participants))
 	sys.participants = append(sys.participants, id)
 	n.roundFn = func() { sys.aeRound(id) }
 	jitter := sim.Duration(n.rng.Int63n(int64(sys.cfg.Epoch)))
 	sys.eng.ScheduleAfter(sys.cfg.Epoch+jitter, n.roundFn)
 	// Wire the parent's stream flow to the newcomer.
-	pn := sys.Nodes[ap]
+	pn := sys.nodes.At(ap)
 	pn.children = sys.tree.Children(ap)
 	f, err := pn.ep.OpenFlow(id, sys.cfg.PacketSize)
 	if err != nil {
 		return err
 	}
-	pn.flows[id] = f
+	pn.flows.set(sys.pindex.At(id), f)
 	sys.epoch++
 	return nil
 }
@@ -598,5 +633,5 @@ func (sys *AntiEntropySystem) Stop() {
 		return
 	}
 	sys.stopped = true
-	member.StopAll(sys.Nodes, sys.dead, func(id int) { sys.Nodes[id].ep.Fail() })
+	member.StopTable(&sys.nodes, &sys.dead, func(id int) { sys.nodes.At(id).ep.Fail() })
 }

@@ -244,10 +244,55 @@ func ChurnJoin(sc Scale, seed int64) (*Result, error) {
 		})
 }
 
+// ChurnXL is the scale-path smoke workload: a sustained mix of every
+// membership operation at once. The overlay deploys over 7/8 of the
+// clients; at the one-third mark 20% of the participants crash in one
+// wave, then between the one-third and two-thirds marks the crashed
+// nodes restart one by one while the held-out 1/8 of the clients join
+// one by one. Every dense-state path is exercised together — mass
+// repair iterating the whole participant table, tree surgery, peer
+// teardown/re-peering, and table growth from joins. Run it at the xl
+// scale (10,000-node topology, 400 participants) to prove the
+// node-indexed data plane holds up beyond toy sizes; the schedule is
+// derived from the participant count, so it composes with any scale.
+func ChurnXL(sc Scale, seed int64) (*Result, error) {
+	return churnCompare("Churn: sustained crash/restart/join mix (scale smoke)", sc, seed,
+		func(w *world) (*overlay.Tree, error) {
+			members := w.g.Clients[:len(w.g.Clients)*7/8]
+			return overlay.Random(members, members[0], sc.TreeDegree,
+				rand.New(rand.NewSource(w.seed^0x74726565)))
+		},
+		func(g *topology.Graph, tree *overlay.Tree) (*scenario.Schedule, []int) {
+			t1, t2 := dynPhases(sc)
+			victims := pickVictims(tree.Participants, tree.Root, 5)
+			var joiners []int
+			for _, c := range g.Clients {
+				if !tree.Contains(c) {
+					joiners = append(joiners, c)
+				}
+			}
+			s := scenario.New()
+			if len(victims) > 0 {
+				s.At(t1, scenario.ChurnNodes(victims...))
+				interval := (t2 - t1) / sim.Duration(len(victims)+1)
+				for i, v := range victims {
+					s.At(t1+sim.Duration(i+1)*interval, scenario.RestartNode(v))
+				}
+			}
+			if len(joiners) > 0 {
+				interval := (t2 - t1) / sim.Duration(len(joiners)+1)
+				for i, j := range joiners {
+					s.At(t1+sim.Duration(i+1)*interval, scenario.JoinNode(j))
+				}
+			}
+			return s, victims
+		})
+}
+
 func init() {
 	// Self-check: every churn experiment must be registered (the
 	// Registry literal lives in experiments.go, like the dyn-* ids).
-	for _, id := range []string{"churn-crash25", "churn-crashheal", "churn-rolling", "churn-join"} {
+	for _, id := range []string{"churn-crash25", "churn-crashheal", "churn-rolling", "churn-join", "churn-xl"} {
 		if _, ok := Registry[id]; !ok {
 			panic(fmt.Sprintf("experiments: %s missing from Registry", id))
 		}

@@ -34,7 +34,7 @@ type Scale struct {
 	TreeDegree int          // random tree degree bound
 }
 
-// The three standard scales.
+// The four standard scales.
 var (
 	// Small finishes in seconds of wall-clock; used by tests and benches.
 	Small = Scale{Name: "small", TopoNodes: 1500, Clients: 40,
@@ -42,14 +42,20 @@ var (
 	// Medium is an intermediate validation point.
 	Medium = Scale{Name: "medium", TopoNodes: 5000, Clients: 150,
 		Start: 50 * sim.Second, Duration: 250 * sim.Second, RunUntil: 300 * sim.Second, TreeDegree: 6}
+	// XL sits between medium and the paper's full configuration: large
+	// enough (10,000-node topology, 400 participants) that per-node
+	// state management dominates a map-backed implementation, small
+	// enough for CI to run it as a smoke test of the scale path.
+	XL = Scale{Name: "xl", TopoNodes: 10000, Clients: 400,
+		Start: 60 * sim.Second, Duration: 180 * sim.Second, RunUntil: 260 * sim.Second, TreeDegree: 8}
 	// PaperScale mirrors the paper's ModelNet configuration: 20,000-node
 	// INET topologies with 1000 participants, streaming from t=100s.
 	PaperScale = Scale{Name: "paper", TopoNodes: 20000, Clients: 1000,
 		Start: 100 * sim.Second, Duration: 300 * sim.Second, RunUntil: 400 * sim.Second, TreeDegree: 10}
 )
 
-// ScaleNames returns the recognized scale names.
-func ScaleNames() []string { return []string{"small", "medium", "paper"} }
+// ScaleNames returns the recognized scale names, smallest first.
+func ScaleNames() []string { return []string{"small", "medium", "xl", "paper"} }
 
 // ScaleByName resolves a scale name. Unknown names yield an
 // UnknownScaleError carrying a did-you-mean suggestion.
@@ -59,6 +65,8 @@ func ScaleByName(name string) (Scale, error) {
 		return Small, nil
 	case "medium":
 		return Medium, nil
+	case "xl":
+		return XL, nil
 	case "paper":
 		return PaperScale, nil
 	}
@@ -224,10 +232,13 @@ var Registry = map[string]Runner{
 
 	// Membership-churn scenarios (see churn.go): crashes, restarts, and
 	// joins replayed against Bullet and the plain tree streamer.
+	// churn-xl is the scale-path smoke mix, designed to be run at the
+	// xl scale (CI does).
 	"churn-crash25":   ChurnCrash25,
 	"churn-crashheal": ChurnCrashHeal,
 	"churn-rolling":   ChurnRolling,
 	"churn-join":      ChurnJoin,
+	"churn-xl":        ChurnXL,
 
 	// Workload comparisons (see workloads.go): the identical non-CBR
 	// workload — fountain-coded file distribution with completion

@@ -26,7 +26,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig11", "fig12", "fig13", "fig14", "fig15", "overcast",
 		"dyn-bottleneck", "dyn-partition", "dyn-flashcrowd", "dyn-oscillate",
 		"churn-crash25", "churn-crashheal", "churn-rolling", "churn-join",
-		"filedist-compare", "vbr-stream"}
+		"churn-xl", "filedist-compare", "vbr-stream"}
 	for _, id := range want {
 		if Registry[id] == nil {
 			t.Fatalf("registry missing %q", id)

@@ -1,15 +1,20 @@
 // Package member provides the small shared membership-bookkeeping
-// helpers every protocol system needs: sorted id collection over a
-// node map, live-set filtering against a dead set, and deterministic
-// (sorted-order) teardown. Keeping them in one place stops the
-// protocols' copies from drifting apart.
+// helpers every protocol system needs: live-set filtering against a
+// dead set and deterministic (ascending-id) teardown over the dense
+// nodeset tables the systems keep their participants in. Keeping them
+// in one place stops the protocols' copies from drifting apart.
 package member
 
-import "sort"
+import (
+	"sort"
 
-// SortedIDs returns the keys of m in ascending order. Protocol systems
-// must never let map iteration order leak into the simulation, so any
-// walk over a node map goes through this.
+	"bullet/internal/nodeset"
+)
+
+// SortedIDs returns the keys of m in ascending order. Per-node state
+// belongs in nodeset containers (CONTRIBUTING rule 9); this is the
+// escape hatch for genuinely sparse, non-node-id-keyed maps, whose
+// iteration order must still never leak into the simulation.
 func SortedIDs[V any](m map[int]V) []int {
 	out := make([]int, 0, len(m))
 	for id := range m {
@@ -19,24 +24,26 @@ func SortedIDs[V any](m map[int]V) []int {
 	return out
 }
 
-// LiveIDs returns the keys of m not marked dead, in ascending order.
-func LiveIDs[V any](m map[int]V, dead map[int]bool) []int {
-	out := make([]int, 0, len(m))
-	for id := range m {
-		if !dead[id] {
+// LiveTableIDs returns the ids present in t and not in dead, in
+// ascending order.
+func LiveTableIDs[V any](t *nodeset.Table[V], dead *nodeset.Set) []int {
+	out := make([]int, 0, t.Len())
+	t.Range(func(id int, _ V) bool {
+		if !dead.Contains(id) {
 			out = append(out, id)
 		}
-	}
-	sort.Ints(out)
+		return true
+	})
 	return out
 }
 
-// StopAll invokes fail for every non-dead id of m in ascending order —
-// the deterministic teardown shared by every system's Stop.
-func StopAll[V any](m map[int]V, dead map[int]bool, fail func(id int)) {
-	for _, id := range SortedIDs(m) {
-		if !dead[id] {
+// StopTable invokes fail for every id of t not in dead, in ascending
+// order — the deterministic teardown shared by every system's Stop.
+func StopTable[V any](t *nodeset.Table[V], dead *nodeset.Set, fail func(id int)) {
+	t.Range(func(id int, _ V) bool {
+		if !dead.Contains(id) {
 			fail(id)
 		}
-	}
+		return true
+	})
 }

@@ -1,0 +1,60 @@
+package member
+
+import (
+	"reflect"
+	"testing"
+
+	"bullet/internal/nodeset"
+)
+
+func TestSortedIDsDeterministic(t *testing.T) {
+	m := map[int]string{9: "i", 2: "b", 40: "m", 0: "a", 17: "q"}
+	want := []int{0, 2, 9, 17, 40}
+	// Map iteration order varies run to run; SortedIDs must not.
+	for i := 0; i < 50; i++ {
+		if got := SortedIDs(m); !reflect.DeepEqual(got, want) {
+			t.Fatalf("SortedIDs=%v want %v", got, want)
+		}
+	}
+	if got := SortedIDs(map[int]int{}); len(got) != 0 {
+		t.Fatalf("empty map gave %v", got)
+	}
+}
+
+func TestLiveTableIDs(t *testing.T) {
+	var tb nodeset.Table[string]
+	var dead nodeset.Set
+	for _, id := range []int{7, 0, 130, 64, 12} {
+		tb.Put(id, "x")
+	}
+	dead.Add(64)
+	dead.Add(5) // not a participant: irrelevant
+	if got := LiveTableIDs(&tb, &dead); !reflect.DeepEqual(got, []int{0, 7, 12, 130}) {
+		t.Fatalf("LiveTableIDs=%v", got)
+	}
+	var empty nodeset.Table[string]
+	if got := LiveTableIDs(&empty, &dead); len(got) != 0 {
+		t.Fatalf("empty table gave %v", got)
+	}
+}
+
+func TestStopTableOrderAndFiltering(t *testing.T) {
+	var tb nodeset.Table[int]
+	var dead nodeset.Set
+	for _, id := range []int{66, 2, 9, 70} {
+		tb.Put(id, id)
+	}
+	dead.Add(9)
+	var stopped []int
+	StopTable(&tb, &dead, func(id int) { stopped = append(stopped, id) })
+	if !reflect.DeepEqual(stopped, []int{2, 66, 70}) {
+		t.Fatalf("StopTable order %v, want ascending live ids [2 66 70]", stopped)
+	}
+	// A second pass over the same table is identical: teardown is a
+	// pure function of the (table, dead) state.
+	var again []int
+	StopTable(&tb, &dead, func(id int) { again = append(again, id) })
+	if !reflect.DeepEqual(again, stopped) {
+		t.Fatalf("StopTable not deterministic: %v vs %v", again, stopped)
+	}
+}

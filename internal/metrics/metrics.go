@@ -9,20 +9,9 @@ import (
 	"math"
 	"sort"
 
+	"bullet/internal/nodeset"
 	"bullet/internal/sim"
 )
-
-// nodeIDs returns tracked node ids in sorted order so that float
-// aggregation order (and therefore every reported number) is
-// deterministic.
-func (c *Collector) nodeIDs() []int {
-	ids := make([]int, 0, len(c.nodes))
-	for id := range c.nodes {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	return ids
-}
 
 // Kind selects a byte counter category.
 type Kind int
@@ -64,9 +53,13 @@ type nodeSeries struct {
 }
 
 // Collector accumulates byte counts into fixed-width time buckets.
+// Per-node series live in a dense node-id-indexed table, so the
+// per-packet Add path is an O(1) slice index and every aggregate walks
+// nodes in ascending id order (the deterministic float-aggregation
+// order the TSV goldens pin).
 type Collector struct {
 	bucket sim.Duration
-	nodes  map[int]*nodeSeries
+	nodes  nodeset.Table[*nodeSeries]
 	maxIdx int
 
 	// target is the distinct-packet count at which a node completes a
@@ -80,7 +73,7 @@ func NewCollector(bucket sim.Duration) *Collector {
 	if bucket <= 0 {
 		bucket = sim.Second
 	}
-	return &Collector{bucket: bucket, nodes: make(map[int]*nodeSeries)}
+	return &Collector{bucket: bucket}
 }
 
 // Bucket returns the bucket width.
@@ -89,8 +82,8 @@ func (c *Collector) Bucket() sim.Duration { return c.bucket }
 // Track pre-registers a node so averages include it even if it never
 // receives a byte.
 func (c *Collector) Track(node int) {
-	if _, ok := c.nodes[node]; !ok {
-		c.nodes[node] = &nodeSeries{}
+	if !c.nodes.Contains(node) {
+		c.nodes.Put(node, &nodeSeries{})
 	}
 }
 
@@ -109,7 +102,7 @@ func (c *Collector) CompletionTarget() uint64 { return c.target }
 // CompletionTime returns when node received its target'th distinct
 // packet, and whether it has yet.
 func (c *Collector) CompletionTime(node int) (sim.Time, bool) {
-	ns := c.nodes[node]
+	ns := c.nodes.At(node)
 	if ns == nil || !ns.completed {
 		return 0, false
 	}
@@ -119,11 +112,12 @@ func (c *Collector) CompletionTime(node int) (sim.Time, bool) {
 // Completed returns how many tracked nodes have finished the workload.
 func (c *Collector) Completed() int {
 	n := 0
-	for _, ns := range c.nodes {
+	c.nodes.Range(func(_ int, ns *nodeSeries) bool {
 		if ns.completed {
 			n++
 		}
-	}
+		return true
+	})
 	return n
 }
 
@@ -134,21 +128,22 @@ func (c *Collector) Completed() int {
 // completion fraction.
 func (c *Collector) CompletionCDF() []float64 {
 	var out []float64
-	for _, id := range c.nodeIDs() {
-		if ns := c.nodes[id]; ns.completed {
+	c.nodes.Range(func(_ int, ns *nodeSeries) bool {
+		if ns.completed {
 			out = append(out, ns.completedAt.ToSeconds())
 		}
-	}
+		return true
+	})
 	sort.Float64s(out)
 	return out
 }
 
 // Add records size bytes of the given kind for node at time now.
 func (c *Collector) Add(now sim.Time, node int, k Kind, size int) {
-	ns := c.nodes[node]
+	ns := c.nodes.At(node)
 	if ns == nil {
 		ns = &nodeSeries{}
-		c.nodes[node] = ns
+		c.nodes.Put(node, ns)
 	}
 	if c.target > 0 && k == Useful {
 		ns.usefulPkts++
@@ -179,24 +174,23 @@ type Point struct {
 // per-node bandwidth of the given kind for every bucket, in Kbps —
 // the series plotted in Figures 6, 7 and 9-15.
 func (c *Collector) Series(k Kind) []Point {
-	n := len(c.nodes)
+	n := c.nodes.Len()
 	if n == 0 {
 		return nil
 	}
 	bucketSec := c.bucket.ToSeconds()
-	ids := c.nodeIDs()
 	out := make([]Point, c.maxIdx+1)
 	for i := 0; i <= c.maxIdx; i++ {
 		var sum, sumsq float64
-		for _, id := range ids {
-			ns := c.nodes[id]
+		c.nodes.Range(func(_ int, ns *nodeSeries) bool {
 			var v float64
 			if i < len(ns.buckets[k]) {
 				v = float64(ns.buckets[k][i]) * 8 / 1000 / bucketSec // Kbps
 			}
 			sum += v
 			sumsq += v * v
-		}
+			return true
+		})
 		mean := sum / float64(n)
 		variance := sumsq/float64(n) - mean*mean
 		if variance < 0 {
@@ -209,7 +203,7 @@ func (c *Collector) Series(k Kind) []Point {
 
 // NodeSeries returns one node's bandwidth series of the given kind.
 func (c *Collector) NodeSeries(node int, k Kind) []Point {
-	ns := c.nodes[node]
+	ns := c.nodes.At(node)
 	if ns == nil {
 		return nil
 	}
@@ -231,14 +225,14 @@ func (c *Collector) CDFAt(t sim.Time, k Kind) []float64 {
 	idx := int(t / c.bucket)
 	bucketSec := c.bucket.ToSeconds()
 	var out []float64
-	for _, id := range c.nodeIDs() {
-		ns := c.nodes[id]
+	c.nodes.Range(func(_ int, ns *nodeSeries) bool {
 		var v float64
 		if idx >= 0 && idx < len(ns.buckets[k]) {
 			v = float64(ns.buckets[k][idx]) * 8 / 1000 / bucketSec
 		}
 		out = append(out, v)
-	}
+		return true
+	})
 	sort.Float64s(out)
 	return out
 }
@@ -246,7 +240,23 @@ func (c *Collector) CDFAt(t sim.Time, k Kind) []float64 {
 // MeanOver returns the across-node, across-bucket mean bandwidth in
 // Kbps of kind k over [from, to).
 func (c *Collector) MeanOver(from, to sim.Time, k Kind) float64 {
-	return c.MeanOverNodes(c.nodeIDs(), from, to, k)
+	lo, hi, ok := c.bucketRange(from, to)
+	if !ok || c.nodes.Len() == 0 {
+		return 0
+	}
+	// One running sum over (node, bucket) in ascending order — float
+	// addition order is part of the determinism contract, so this must
+	// accumulate exactly like the pre-refactor collector.
+	var sum float64
+	c.nodes.Range(func(_ int, ns *nodeSeries) bool {
+		for i := lo; i < hi; i++ {
+			if i < len(ns.buckets[k]) {
+				sum += float64(ns.buckets[k][i])
+			}
+		}
+		return true
+	})
+	return c.meanKbps(sum, lo, hi, c.nodes.Len())
 }
 
 // MeanOverNodes is MeanOver restricted to the given node ids — used by
@@ -255,17 +265,13 @@ func (c *Collector) MeanOver(from, to sim.Time, k Kind) float64 {
 // never received a byte. Callers must pass nodes in a deterministic
 // order (float aggregation order is behaviourally significant).
 func (c *Collector) MeanOverNodes(nodes []int, from, to sim.Time, k Kind) float64 {
-	lo, hi := int(from/c.bucket), int(to/c.bucket)
-	if hi > c.maxIdx+1 {
-		hi = c.maxIdx + 1
-	}
-	if hi <= lo || len(nodes) == 0 {
+	lo, hi, ok := c.bucketRange(from, to)
+	if !ok || len(nodes) == 0 {
 		return 0
 	}
-	bucketSec := c.bucket.ToSeconds()
 	var sum float64
 	for _, id := range nodes {
-		ns := c.nodes[id]
+		ns := c.nodes.At(id)
 		if ns == nil {
 			continue
 		}
@@ -275,17 +281,31 @@ func (c *Collector) MeanOverNodes(nodes []int, from, to sim.Time, k Kind) float6
 			}
 		}
 	}
-	return sum * 8 / 1000 / bucketSec / float64(hi-lo) / float64(len(nodes))
+	return c.meanKbps(sum, lo, hi, len(nodes))
+}
+
+// bucketRange clips [from, to) to populated buckets.
+func (c *Collector) bucketRange(from, to sim.Time) (lo, hi int, ok bool) {
+	lo, hi = int(from/c.bucket), int(to/c.bucket)
+	if hi > c.maxIdx+1 {
+		hi = c.maxIdx + 1
+	}
+	return lo, hi, hi > lo
+}
+
+func (c *Collector) meanKbps(sum float64, lo, hi, nodes int) float64 {
+	return sum * 8 / 1000 / c.bucket.ToSeconds() / float64(hi-lo) / float64(nodes)
 }
 
 // Total returns the total bytes of kind k across all nodes.
 func (c *Collector) Total(k Kind) uint64 {
 	var sum uint64
-	for _, ns := range c.nodes { // integer sum: order-independent
+	c.nodes.Range(func(_ int, ns *nodeSeries) bool { // integer sum: order-independent
 		for _, v := range ns.buckets[k] {
 			sum += v
 		}
-	}
+		return true
+	})
 	return sum
 }
 
@@ -300,4 +320,4 @@ func (c *Collector) DuplicateRatio() float64 {
 }
 
 // Nodes returns the number of tracked nodes.
-func (c *Collector) Nodes() int { return len(c.nodes) }
+func (c *Collector) Nodes() int { return c.nodes.Len() }

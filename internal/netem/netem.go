@@ -48,6 +48,15 @@ type Packet struct {
 	Payload any    // protocol message for Control packets
 	Trace   bool   // participate in link-stress accounting
 	SentAt  sim.Time
+
+	// Transport framing for Data packets, carried inline so the
+	// per-packet send path allocates no payload box: the flow id and
+	// per-flow sequence, the sender timestamp, and the sender's RTT
+	// estimate (see package transport). Unused by Control packets.
+	FlowID  uint32
+	FlowSeq uint64
+	TS      float64
+	RTT     float64
 }
 
 // Handler receives packets addressed to a registered node.
@@ -110,7 +119,9 @@ type Network struct {
 	rerouted         uint64
 	deliveredPackets uint64
 
-	// Link stress: per traced sequence, per link, copy count.
+	// Link stress: per traced sequence, per link, copy count. Allocated
+	// lazily on the first traced packet, so runs that never set
+	// Packet.Trace (TraceEvery off) pay nothing for the machinery.
 	traceStress map[uint64]map[int32]int
 }
 
@@ -120,14 +131,13 @@ func New(eng *sim.Engine, g *topology.Graph, rt *topology.Router, cfg Config) *N
 		cfg.QueueDelayLimit = 150 * sim.Millisecond
 	}
 	n := &Network{
-		eng:         eng,
-		g:           g,
-		rt:          rt,
-		cfg:         cfg,
-		dirs:        make([]dirState, 2*len(g.Links)),
-		handlers:    make([]Handler, len(g.Nodes)),
-		rng:         eng.RNG(0x6e65746d),
-		traceStress: make(map[uint64]map[int32]int),
+		eng:      eng,
+		g:        g,
+		rt:       rt,
+		cfg:      cfg,
+		dirs:     make([]dirState, 2*len(g.Links)),
+		handlers: make([]Handler, len(g.Nodes)),
+		rng:      eng.RNG(0x6e65746d),
 	}
 	n.hopFn = func(a any) { n.hop(a.(*inflight)) }
 	return n
@@ -271,6 +281,9 @@ func (n *Network) hop(f *inflight) {
 	ds.bytes += uint64(f.pkt.Size)
 	ds.packets++
 	if f.pkt.Trace {
+		if n.traceStress == nil {
+			n.traceStress = make(map[uint64]map[int32]int)
+		}
 		m := n.traceStress[f.pkt.Seq]
 		if m == nil {
 			m = make(map[int32]int)

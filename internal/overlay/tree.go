@@ -9,37 +9,42 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+
+	"bullet/internal/nodeset"
 )
 
 // Tree is a rooted overlay tree over participant (graph-node) IDs.
+// Parent and child links live in dense node-id-indexed tables (graph
+// node ids are small integers), so membership checks and parent walks
+// on the churn path are slice lookups, not map hashes.
 type Tree struct {
 	Root         int
 	Participants []int
-	parent       map[int]int
-	children     map[int][]int
+	parent       nodeset.Table[int] // -1 at the root
+	children     nodeset.Table[[]int]
 }
 
 // NewTree creates a tree containing only the root.
 func NewTree(root int) *Tree {
-	return &Tree{
+	t := &Tree{
 		Root:         root,
 		Participants: []int{root},
-		parent:       map[int]int{root: -1},
-		children:     make(map[int][]int),
 	}
+	t.parent.Put(root, -1)
+	return t
 }
 
 // Attach adds node as a child of parent. The parent must already be in
 // the tree and the node must not be.
 func (t *Tree) Attach(node, parent int) error {
-	if _, ok := t.parent[parent]; !ok {
+	if !t.parent.Contains(parent) {
 		return fmt.Errorf("overlay: parent %d not in tree", parent)
 	}
-	if _, ok := t.parent[node]; ok {
+	if t.parent.Contains(node) {
 		return fmt.Errorf("overlay: node %d already in tree", node)
 	}
-	t.parent[node] = parent
-	t.children[parent] = append(t.children[parent], node)
+	t.parent.Put(node, parent)
+	t.children.Put(parent, append(t.children.At(parent), node))
 	t.Participants = append(t.Participants, node)
 	return nil
 }
@@ -47,7 +52,7 @@ func (t *Tree) Attach(node, parent int) error {
 // Parent returns node's parent and true, or -1,false for the root or
 // unknown nodes.
 func (t *Tree) Parent(node int) (int, bool) {
-	p, ok := t.parent[node]
+	p, ok := t.parent.Get(node)
 	if !ok || p < 0 {
 		return -1, false
 	}
@@ -55,25 +60,24 @@ func (t *Tree) Parent(node int) (int, bool) {
 }
 
 // Children returns node's children (shared slice; do not mutate).
-func (t *Tree) Children(node int) []int { return t.children[node] }
+func (t *Tree) Children(node int) []int { return t.children.At(node) }
 
 // Contains reports whether node is in the tree.
 func (t *Tree) Contains(node int) bool {
-	_, ok := t.parent[node]
-	return ok
+	return t.parent.Contains(node)
 }
 
 // Size returns the number of participants.
 func (t *Tree) Size() int { return len(t.Participants) }
 
 // Degree returns the out-degree (children count) of node.
-func (t *Tree) Degree(node int) int { return len(t.children[node]) }
+func (t *Tree) Degree(node int) int { return len(t.children.At(node)) }
 
 // SubtreeSize returns the number of nodes in node's subtree, including
 // itself.
 func (t *Tree) SubtreeSize(node int) int {
 	n := 1
-	for _, c := range t.children[node] {
+	for _, c := range t.children.At(node) {
 		n += t.SubtreeSize(c)
 	}
 	return n
@@ -89,7 +93,7 @@ func (t *Tree) Descendants(node int) int { return t.SubtreeSize(node) - 1 }
 // shared by the failure and dynamics scenarios.
 func (t *Tree) HeaviestChild(node int) (child, descendants int) {
 	child, descendants = -1, -1
-	for _, k := range t.children[node] {
+	for _, k := range t.children.At(node) {
 		if d := t.Descendants(k); d > descendants {
 			descendants, child = d, k
 		}
@@ -102,7 +106,7 @@ func (t *Tree) Depth() int {
 	var walk func(n, d int) int
 	walk = func(n, d int) int {
 		max := d
-		for _, c := range t.children[n] {
+		for _, c := range t.children.At(n) {
 			if cd := walk(c, d+1); cd > max {
 				max = cd
 			}
@@ -116,7 +120,7 @@ func (t *Tree) Depth() int {
 func (t *Tree) DepthOf(node int) int {
 	d := 0
 	for node != t.Root {
-		p, ok := t.parent[node]
+		p, ok := t.parent.Get(node)
 		if !ok || p < 0 {
 			return -1
 		}
@@ -130,7 +134,7 @@ func (t *Tree) DepthOf(node int) int {
 // descendant for convenience in RanSub-nondescendants checks).
 func (t *Tree) IsDescendant(a, b int) bool {
 	for b != a {
-		p, ok := t.parent[b]
+		p, ok := t.parent.Get(b)
 		if !ok || p < 0 {
 			return false
 		}
@@ -162,7 +166,7 @@ func (t *Tree) Validate(participants []int) error {
 		if !want[n] {
 			return fmt.Errorf("overlay: unexpected node %d", n)
 		}
-		for _, c := range t.children[n] {
+		for _, c := range t.children.At(n) {
 			if e := walk(c); e != nil {
 				return e
 			}
@@ -182,15 +186,15 @@ func (t *Tree) Validate(participants []int) error {
 // subtree is detached with it) — used by failure experiments. The
 // orphaned subtree nodes are returned.
 func (t *Tree) Remove(node int) []int {
-	p, ok := t.parent[node]
+	p, ok := t.parent.Get(node)
 	if !ok {
 		return nil
 	}
 	if p >= 0 {
-		cs := t.children[p]
+		cs := t.children.At(p)
 		for i, c := range cs {
 			if c == node {
-				t.children[p] = append(cs[:i], cs[i+1:]...)
+				t.children.Put(p, append(cs[:i], cs[i+1:]...))
 				break
 			}
 		}
@@ -199,11 +203,11 @@ func (t *Tree) Remove(node int) []int {
 	var collect func(n int)
 	collect = func(n int) {
 		orphans = append(orphans, n)
-		for _, c := range t.children[n] {
+		for _, c := range t.children.At(n) {
 			collect(c)
 		}
-		delete(t.parent, n)
-		delete(t.children, n)
+		t.parent.Delete(n)
+		t.children.Delete(n)
 	}
 	collect(node)
 	kept := t.Participants[:0]
@@ -227,29 +231,29 @@ func (t *Tree) Remove(node int) []int {
 // load balancing, just promotion one level up. The promoted children
 // are returned in attachment order. Removing the root is an error.
 func (t *Tree) ReparentChildren(node int) ([]int, error) {
-	p, ok := t.parent[node]
+	p, ok := t.parent.Get(node)
 	if !ok {
 		return nil, fmt.Errorf("overlay: node %d not in tree", node)
 	}
 	if p < 0 {
 		return nil, fmt.Errorf("overlay: cannot reparent children of root %d", node)
 	}
-	promoted := append([]int(nil), t.children[node]...)
+	promoted := append([]int(nil), t.children.At(node)...)
 	// Unlink node from its parent.
-	cs := t.children[p]
+	cs := t.children.At(p)
 	for i, c := range cs {
 		if c == node {
-			t.children[p] = append(cs[:i], cs[i+1:]...)
+			t.children.Put(p, append(cs[:i], cs[i+1:]...))
 			break
 		}
 	}
 	// Promote the children.
 	for _, c := range promoted {
-		t.parent[c] = p
-		t.children[p] = append(t.children[p], c)
+		t.parent.Put(c, p)
+		t.children.Put(p, append(t.children.At(p), c))
 	}
-	delete(t.parent, node)
-	delete(t.children, node)
+	t.parent.Delete(node)
+	t.children.Delete(node)
 	kept := t.Participants[:0]
 	for _, q := range t.Participants {
 		if q != node {
@@ -267,7 +271,7 @@ func (t *Tree) ReparentChildren(node int) ([]int, error) {
 // every node. It returns -1 when no node qualifies (e.g. every
 // candidate is filtered out).
 func (t *Tree) AttachPoint(maxDegree int, eligible func(node int) bool) int {
-	if _, ok := t.parent[t.Root]; !ok {
+	if !t.parent.Contains(t.Root) {
 		return -1
 	}
 	queue := []int{t.Root}
@@ -277,7 +281,7 @@ func (t *Tree) AttachPoint(maxDegree int, eligible func(node int) bool) int {
 		if (eligible == nil || eligible(n)) && (maxDegree < 1 || t.Degree(n) < maxDegree) {
 			return n
 		}
-		queue = append(queue, t.children[n]...)
+		queue = append(queue, t.children.At(n)...)
 	}
 	return -1
 }
@@ -288,7 +292,7 @@ func (t *Tree) AttachPoint(maxDegree int, eligible func(node int) bool) int {
 func (t *Tree) MaxDegree() int {
 	max := 0
 	for _, p := range t.Participants {
-		if d := len(t.children[p]); d > max {
+		if d := len(t.children.At(p)); d > max {
 			max = d
 		}
 	}
@@ -303,7 +307,7 @@ func (t *Tree) ConnectedToRoot(n int, live func(node int) bool) bool {
 		if live != nil && !live(n) {
 			return false
 		}
-		p, ok := t.parent[n]
+		p, ok := t.parent.Get(n)
 		if !ok {
 			return false // not in the tree at all
 		}

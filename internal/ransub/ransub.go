@@ -115,15 +115,25 @@ type Agent struct {
 	// OnDistribute is invoked when an epoch's distribute set arrives.
 	OnDistribute func(epoch int, set []Entry)
 
-	epoch          int
-	childCollect   map[int]collectMsg // latest collect from each child
-	collectsWaited map[int]bool       // children owing a collect this epoch
+	epoch int
+	// childCollect holds the latest collect from each child, keyed
+	// in-place by child id (children lists are tree-degree-sized, so a
+	// linear scan beats hashing and keeps iteration deterministic).
+	childCollect []childCollect
+	// waiting lists the children owing a collect this epoch.
+	waiting        []int
 	lastDistribute distributeMsg
 	epochTimer     sim.Timer
 	minEpochDone   bool
 	started        bool
 
 	epochsCompleted int
+}
+
+// childCollect pairs a child id with its most recent collect message.
+type childCollect struct {
+	child int
+	msg   collectMsg
 }
 
 // NewAgent creates the RanSub instance for ep's node, with the given
@@ -140,13 +150,68 @@ func NewAgent(ep *transport.Endpoint, cfg Config, parent int, children []int) *A
 	}
 	kids := append([]int(nil), children...)
 	return &Agent{
-		ep:           ep,
-		cfg:          cfg,
-		rng:          ep.Engine().RNG(int64(ep.Node())*2654435761 + 0x52616e53),
-		parent:       parent,
-		children:     kids,
-		childCollect: make(map[int]collectMsg),
+		ep:       ep,
+		cfg:      cfg,
+		rng:      ep.Engine().RNG(int64(ep.Node())*2654435761 + 0x52616e53),
+		parent:   parent,
+		children: kids,
 	}
+}
+
+// collectOf returns the cached collect state for child, or nil.
+func (a *Agent) collectOf(child int) *collectMsg {
+	for i := range a.childCollect {
+		if a.childCollect[i].child == child {
+			return &a.childCollect[i].msg
+		}
+	}
+	return nil
+}
+
+// setCollect caches m as child's latest collect.
+func (a *Agent) setCollect(child int, m collectMsg) {
+	for i := range a.childCollect {
+		if a.childCollect[i].child == child {
+			a.childCollect[i].msg = m
+			return
+		}
+	}
+	a.childCollect = append(a.childCollect, childCollect{child: child, msg: m})
+}
+
+// dropCollect forgets child's cached collect state.
+func (a *Agent) dropCollect(child int) {
+	for i := range a.childCollect {
+		if a.childCollect[i].child == child {
+			a.childCollect = append(a.childCollect[:i], a.childCollect[i+1:]...)
+			return
+		}
+	}
+}
+
+// isWaiting reports whether child still owes a collect this epoch.
+func (a *Agent) isWaiting(child int) bool {
+	for _, c := range a.waiting {
+		if c == child {
+			return true
+		}
+	}
+	return false
+}
+
+// stopWaiting removes child from the waiting list.
+func (a *Agent) stopWaiting(child int) {
+	for i, c := range a.waiting {
+		if c == child {
+			a.waiting = append(a.waiting[:i], a.waiting[i+1:]...)
+			return
+		}
+	}
+}
+
+// resetWaiting makes every current child owe a collect.
+func (a *Agent) resetWaiting() {
+	a.waiting = append(a.waiting[:0], a.children...)
 }
 
 // IsRoot reports whether this agent sits at the tree root.
@@ -162,16 +227,20 @@ func (a *Agent) EpochsCompleted() int { return a.epochsCompleted }
 // Descendants returns the latest known subtree size below child
 // (excluding the child itself), from its most recent collect.
 func (a *Agent) Descendants(child int) int {
-	return a.childCollect[child].descendants
+	if cm := a.collectOf(child); cm != nil {
+		return cm.descendants
+	}
+	return 0
 }
 
 // ChildSubtreeSize returns descendants(child) + 1, the population the
 // child's collect set represents.
 func (a *Agent) ChildSubtreeSize(child int) int {
-	if _, ok := a.childCollect[child]; !ok {
+	cm := a.collectOf(child)
+	if cm == nil {
 		return 1 // assume at least the child itself
 	}
-	return a.childCollect[child].descendants + 1
+	return cm.descendants + 1
 }
 
 // Children returns the children list (shared; do not mutate).
@@ -216,12 +285,12 @@ func (a *Agent) RemoveChild(child int) {
 		return
 	}
 	a.children = append(a.children[:idx], a.children[idx+1:]...)
-	delete(a.childCollect, child)
-	if a.collectsWaited == nil || !a.collectsWaited[child] {
+	a.dropCollect(child)
+	if !a.isWaiting(child) {
 		return
 	}
-	delete(a.collectsWaited, child)
-	if len(a.collectsWaited) > 0 {
+	a.stopWaiting(child)
+	if len(a.waiting) > 0 {
 		return
 	}
 	// The removed child was the last one holding the wave back. (A
@@ -267,10 +336,7 @@ func (a *Agent) beginEpoch() {
 	a.epoch++
 	a.epochsCompleted++
 	a.minEpochDone = false
-	a.collectsWaited = make(map[int]bool, len(a.children))
-	for _, c := range a.children {
-		a.collectsWaited[c] = true
-	}
+	a.resetWaiting()
 	a.sendDistributes(distributeMsg{epoch: a.epoch})
 	eng := a.ep.Engine()
 	eng.ScheduleAfter(a.cfg.Epoch, func() {
@@ -285,8 +351,8 @@ func (a *Agent) beginEpoch() {
 		}
 		a.epochTimer = eng.After(a.cfg.Epoch+timeout, func() {
 			// Failure detection: stop waiting for missing collects.
-			if len(a.collectsWaited) > 0 {
-				a.collectsWaited = make(map[int]bool)
+			if len(a.waiting) > 0 {
+				a.waiting = a.waiting[:0]
 				a.maybeAdvance()
 			}
 		})
@@ -299,7 +365,7 @@ func (a *Agent) maybeAdvance() {
 	if !a.IsRoot() || !a.started {
 		return
 	}
-	if a.minEpochDone && len(a.collectsWaited) == 0 {
+	if a.minEpochDone && len(a.waiting) == 0 {
 		a.beginEpoch()
 	}
 }
@@ -320,7 +386,7 @@ func (a *Agent) sendDistributes(incoming distributeMsg) {
 			if sib == child {
 				continue
 			}
-			if cm, ok := a.childCollect[sib]; ok && len(cm.set) > 0 {
+			if cm := a.collectOf(sib); cm != nil && len(cm.set) > 0 {
 				groups = append(groups, Group{Entries: cm.set, Population: cm.descendants + 1})
 				pop += cm.descendants + 1
 			}
@@ -337,7 +403,7 @@ func (a *Agent) sendCollect() {
 	groups := []Group{{Entries: []Entry{a.ownEntry()}, Population: 1}}
 	desc := 0
 	for _, c := range a.children {
-		if cm, ok := a.childCollect[c]; ok && cm.epoch == a.epoch {
+		if cm := a.collectOf(c); cm != nil && cm.epoch == a.epoch {
 			groups = append(groups, Group{Entries: cm.set, Population: cm.descendants + 1})
 			desc += cm.descendants + 1
 		}
@@ -380,15 +446,12 @@ func (a *Agent) onDistribute(m *distributeMsg) {
 		return
 	}
 	// Expect fresh collects from every child this epoch.
-	a.collectsWaited = make(map[int]bool, len(a.children))
-	for _, c := range a.children {
-		a.collectsWaited[c] = true
-	}
+	a.resetWaiting()
 	a.sendDistributes(*m)
 }
 
 func (a *Agent) onCollect(from int, m *collectMsg) {
-	a.childCollect[from] = *m
+	a.setCollect(from, *m)
 	if m.epoch != a.epoch {
 		return // stale collect: keep the state, don't advance the phase
 	}
@@ -396,11 +459,11 @@ func (a *Agent) onCollect(from int, m *collectMsg) {
 	// a freshly adopted child (orphan re-parented mid-epoch) may deliver
 	// a same-epoch collect after we already sent ours, which must not
 	// emit a duplicate.
-	if a.collectsWaited == nil || !a.collectsWaited[from] {
+	if !a.isWaiting(from) {
 		return
 	}
-	delete(a.collectsWaited, from)
-	if len(a.collectsWaited) == 0 {
+	a.stopWaiting(from)
+	if len(a.waiting) == 0 {
 		if a.IsRoot() {
 			a.maybeAdvance()
 		} else {

@@ -13,6 +13,7 @@ import (
 	"bullet/internal/member"
 	"bullet/internal/metrics"
 	"bullet/internal/netem"
+	"bullet/internal/nodeset"
 	"bullet/internal/overlay"
 	"bullet/internal/sim"
 	"bullet/internal/transport"
@@ -38,28 +39,32 @@ type Config struct {
 	Sink workload.Sink
 }
 
-// Node is one streaming participant.
+// Node is one streaming participant. children and flows are parallel
+// slices in distribution-tree order.
 type Node struct {
 	ep       *transport.Endpoint
 	id       int
 	parent   int
 	children []int
-	flows    map[int]*transport.Flow
+	flows    []*transport.Flow
 	seen     *workset.Set
 	col      *metrics.Collector
 }
 
-// System is a deployed streaming overlay.
+// System is a deployed streaming overlay. Participants live in a dense
+// node-id-indexed table (see internal/nodeset): the per-packet onData
+// lookup is a slice index, and every teardown or live-set walk is in
+// ascending id order.
 type System struct {
-	Nodes map[int]*Node
-	Tree  *overlay.Tree
-	cfg   Config
-	col   *metrics.Collector
-	eng   *sim.Engine
-	src   workload.Source
+	Tree *overlay.Tree
+	cfg  Config
+	col  *metrics.Collector
+	eng  *sim.Engine
+	src  workload.Source
 
+	nodes      nodeset.Table[*Node]
 	net        *netem.Network
-	dead       map[int]bool
+	dead       nodeset.Set
 	epoch      int // membership epoch: churn operation count
 	joinDegree int
 	stopped    bool
@@ -74,8 +79,8 @@ func Deploy(net *netem.Network, tree *overlay.Tree, cfg Config, col *metrics.Col
 	if cfg.Workload == nil && cfg.RateKbps <= 0 {
 		return nil, fmt.Errorf("streamer: rate %v Kbps", cfg.RateKbps)
 	}
-	sys := &System{Nodes: make(map[int]*Node), Tree: tree, cfg: cfg, col: col,
-		eng: net.Engine(), net: net, dead: make(map[int]bool),
+	sys := &System{Tree: tree, cfg: cfg, col: col,
+		eng: net.Engine(), net: net,
 		src: workload.Default(cfg.Workload, cfg.RateKbps, cfg.PacketSize)}
 	workload.InstallCompletion(sys.src, col)
 	for _, id := range tree.Participants {
@@ -88,7 +93,6 @@ func Deploy(net *netem.Network, tree *overlay.Tree, cfg Config, col *metrics.Col
 			id:       id,
 			parent:   parent,
 			children: tree.Children(id),
-			flows:    make(map[int]*transport.Flow),
 			seen:     workset.New(),
 			col:      col,
 		}
@@ -98,11 +102,11 @@ func Deploy(net *netem.Network, tree *overlay.Tree, cfg Config, col *metrics.Col
 			if err != nil {
 				return nil, err
 			}
-			n.flows[c] = f
+			n.flows = append(n.flows, f)
 		}
 		id := id
 		n.ep.OnData(func(from int, seq uint64, size int) { sys.onData(id, from, seq, size) })
-		sys.Nodes[id] = n
+		sys.nodes.Put(id, n)
 	}
 	if sys.joinDegree = tree.MaxDegree(); sys.joinDegree < 2 {
 		sys.joinDegree = 2
@@ -112,7 +116,7 @@ func Deploy(net *netem.Network, tree *overlay.Tree, cfg Config, col *metrics.Col
 	workload.Pump(sys.eng, sys.src, cfg.Start,
 		func() bool { return sys.eng.Now() >= end || sys.stopped },
 		func(seq uint64, size int) {
-			root := sys.Nodes[tree.Root]
+			root := sys.nodes.At(tree.Root)
 			root.seen.Add(seq)
 			root.forward(seq, size)
 		})
@@ -123,8 +127,11 @@ func Deploy(net *netem.Network, tree *overlay.Tree, cfg Config, col *metrics.Col
 // generation (the configured one, or the default CBR).
 func (sys *System) Workload() workload.Source { return sys.src }
 
+// Node returns the participant instance for id (crashed included).
+func (sys *System) Node(id int) (*Node, bool) { return sys.nodes.Get(id) }
+
 func (sys *System) onData(id, from int, seq uint64, size int) {
-	n := sys.Nodes[id]
+	n := sys.nodes.At(id)
 	now := sys.eng.Now()
 	sys.col.Add(now, id, metrics.Raw, size)
 	if from == n.parent {
@@ -143,14 +150,14 @@ func (sys *System) onData(id, from int, seq uint64, size int) {
 
 // forward pushes the packet to every child, best effort.
 func (n *Node) forward(seq uint64, size int) {
-	for _, c := range n.children {
-		n.flows[c].TrySend(seq, size)
+	for _, f := range n.flows {
+		f.TrySend(seq, size)
 	}
 }
 
 // Fail crashes the node with the given id.
 func (sys *System) Fail(id int) {
-	if n, ok := sys.Nodes[id]; ok {
+	if n, ok := sys.nodes.Get(id); ok {
 		n.ep.Fail()
 	}
 }
@@ -170,29 +177,28 @@ func (sys *System) MemberEpoch() int { return sys.epoch }
 
 // Live reports whether id is a current non-crashed participant.
 func (sys *System) Live(id int) bool {
-	_, ok := sys.Nodes[id]
-	return ok && !sys.dead[id]
+	return sys.nodes.Contains(id) && !sys.dead.Contains(id)
 }
 
 // LiveNodes returns the ids of current non-crashed participants sorted.
-func (sys *System) LiveNodes() []int { return member.LiveIDs(sys.Nodes, sys.dead) }
+func (sys *System) LiveNodes() []int { return member.LiveTableIDs(&sys.nodes, &sys.dead) }
 
 // Crash fails node id. Its subtree is orphaned: descendants keep their
 // tree positions but receive nothing — the baseline's weakness the
 // paper's failure experiments expose. The source cannot crash.
 func (sys *System) Crash(id int) error {
-	n, ok := sys.Nodes[id]
+	n, ok := sys.nodes.Get(id)
 	if !ok {
 		return fmt.Errorf("streamer: node %d is not a participant", id)
 	}
-	if sys.dead[id] {
+	if sys.dead.Contains(id) {
 		return fmt.Errorf("streamer: node %d already crashed", id)
 	}
 	if id == sys.Tree.Root {
 		return fmt.Errorf("streamer: cannot crash the source (tree root %d)", id)
 	}
 	n.ep.Fail()
-	sys.dead[id] = true
+	sys.dead.Add(id)
 	sys.epoch++
 	return nil
 }
@@ -201,19 +207,19 @@ func (sys *System) Crash(id int) error {
 // receiving from its parent's still-open flow and fresh flows reopen to
 // its children, but data streamed while it was down is gone for good.
 func (sys *System) Restart(id int) error {
-	n, ok := sys.Nodes[id]
-	if !ok || !sys.dead[id] {
+	n, ok := sys.nodes.Get(id)
+	if !ok || !sys.dead.Contains(id) {
 		return fmt.Errorf("streamer: node %d is not crashed", id)
 	}
 	n.ep.Restart()
-	for _, c := range n.children {
+	for i, c := range n.children {
 		f, err := n.ep.OpenFlow(c, sys.cfg.PacketSize)
 		if err != nil {
 			return err
 		}
-		n.flows[c] = f
+		n.flows[i] = f
 	}
-	delete(sys.dead, id)
+	sys.dead.Remove(id)
 	sys.epoch++
 	return nil
 }
@@ -222,15 +228,15 @@ func (sys *System) Restart(id int) error {
 // is live — a join point must actually receive the stream, not merely
 // be alive inside an orphaned subtree.
 func (sys *System) connected(n int) bool {
-	return sys.Tree.ConnectedToRoot(n, func(x int) bool { return !sys.dead[x] })
+	return sys.Tree.ConnectedToRoot(n, func(x int) bool { return !sys.dead.Contains(x) })
 }
 
 // Join attaches a brand-new participant at the deterministic join point
 // (first breadth-first connected node with spare degree) and starts
 // streaming to it from there.
 func (sys *System) Join(id int) error {
-	if _, ok := sys.Nodes[id]; ok {
-		if sys.dead[id] {
+	if sys.nodes.Contains(id) {
+		if sys.dead.Contains(id) {
 			return fmt.Errorf("streamer: node %d crashed; use Restart", id)
 		}
 		return fmt.Errorf("streamer: node %d is already a participant", id)
@@ -246,22 +252,22 @@ func (sys *System) Join(id int) error {
 		ep:     transport.NewEndpoint(sys.net, id),
 		id:     id,
 		parent: ap,
-		flows:  make(map[int]*transport.Flow),
 		seen:   workset.New(),
 		col:    sys.col,
 	}
 	sys.col.Track(id)
 	n.ep.OnData(func(from int, seq uint64, size int) { sys.onData(id, from, seq, size) })
-	sys.Nodes[id] = n
+	sys.nodes.Put(id, n)
 	// The parent's captured children slice predates the join; refresh it
-	// and open the new flow.
-	pn := sys.Nodes[ap]
+	// (Attach appended the newcomer at the end, so existing flows stay
+	// aligned) and open the new flow.
+	pn := sys.nodes.At(ap)
 	pn.children = sys.Tree.Children(ap)
 	f, err := pn.ep.OpenFlow(id, sys.cfg.PacketSize)
 	if err != nil {
 		return err
 	}
-	pn.flows[id] = f
+	pn.flows = append(pn.flows, f)
 	sys.epoch++
 	return nil
 }
@@ -273,5 +279,5 @@ func (sys *System) Stop() {
 		return
 	}
 	sys.stopped = true
-	member.StopAll(sys.Nodes, sys.dead, func(id int) { sys.Nodes[id].ep.Fail() })
+	member.StopTable(&sys.nodes, &sys.dead, func(id int) { sys.nodes.At(id).ep.Fail() })
 }

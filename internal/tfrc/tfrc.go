@@ -39,10 +39,14 @@ const NumLossIntervals = 8
 var lossIntervalWeights = [NumLossIntervals]float64{1, 1, 1, 1, 0.8, 0.6, 0.4, 0.2}
 
 // LossHistory tracks loss intervals at the receiver and computes the
-// reported loss event rate p.
+// reported loss event rate p. The history is a fixed-size ring shifted
+// in place: recording a loss event and computing P are allocation-free
+// (this sits on the per-packet path of every TFRC flow).
 type LossHistory struct {
-	// intervals[0] is the most recent *closed* interval.
-	intervals []float64
+	// intervals[0] is the most recent *closed* interval; n counts how
+	// many entries are populated.
+	intervals [NumLossIntervals]float64
+	n         int
 	// current counts packets since the last loss event (open interval).
 	current float64
 	// haveLoss reports whether any loss event has occurred.
@@ -59,9 +63,10 @@ func (h *LossHistory) OnLossEvent() {
 	if !h.haveLoss {
 		h.haveLoss = true
 	}
-	h.intervals = append([]float64{h.current}, h.intervals...)
-	if len(h.intervals) > NumLossIntervals {
-		h.intervals = h.intervals[:NumLossIntervals]
+	copy(h.intervals[1:], h.intervals[:])
+	h.intervals[0] = h.current
+	if h.n < NumLossIntervals {
+		h.n++
 	}
 	h.current = 0
 }
@@ -70,7 +75,7 @@ func (h *LossHistory) OnLossEvent() {
 // interval, derived from the receive rate before the first loss
 // (RFC 3448 §6.3.1). Call immediately after the first OnLossEvent.
 func (h *LossHistory) SeedFirstInterval(packets float64) {
-	if len(h.intervals) == 1 && packets > h.intervals[0] {
+	if h.n == 1 && packets > h.intervals[0] {
 		h.intervals[0] = packets
 	}
 }
@@ -80,18 +85,20 @@ func (h *LossHistory) SeedFirstInterval(packets float64) {
 // interval, taking the larger average (RFC 3448 §5.4). Returns 0 before
 // any loss event.
 func (h *LossHistory) P() float64 {
-	if !h.haveLoss || len(h.intervals) == 0 {
+	if !h.haveLoss || h.n == 0 {
 		return 0
 	}
-	avgClosed := weightedAvg(h.intervals)
-	// Including the open interval as the most recent value.
-	withCurrent := make([]float64, 0, len(h.intervals)+1)
-	withCurrent = append(withCurrent, h.current)
-	withCurrent = append(withCurrent, h.intervals...)
-	if len(withCurrent) > NumLossIntervals {
-		withCurrent = withCurrent[:NumLossIntervals]
+	avgClosed := weightedAvg(h.intervals[:h.n])
+	// Including the open interval as the most recent value: weight 0
+	// applies to current, the closed intervals shift one weight down,
+	// and the oldest falls off when the history is full.
+	num := lossIntervalWeights[0] * h.current
+	den := lossIntervalWeights[0]
+	for i := 0; i < h.n && i+1 < NumLossIntervals; i++ {
+		num += lossIntervalWeights[i+1] * h.intervals[i]
+		den += lossIntervalWeights[i+1]
 	}
-	avgOpen := weightedAvg(withCurrent)
+	avgOpen := num / den
 	avg := avgClosed
 	if avgOpen > avg {
 		avg = avgOpen

@@ -81,8 +81,8 @@ func TestLossHistoryBounded(t *testing.T) {
 		h.OnPacket()
 		h.OnLossEvent()
 	}
-	if len(h.intervals) > NumLossIntervals {
-		t.Fatalf("history grew to %d", len(h.intervals))
+	if h.n > NumLossIntervals {
+		t.Fatalf("history grew to %d", h.n)
 	}
 	if p := h.P(); p <= 0 || p > 1 {
 		t.Fatalf("p=%v out of range", p)
@@ -241,8 +241,8 @@ func TestReceiverAggregatesLossesWithinRTT(t *testing.T) {
 		step(r1, false)
 	}
 	step(r1, true) // within same RTT window
-	if len(r1.hist.intervals) != 1 {
-		t.Fatalf("expected 1 loss event, got %d intervals", len(r1.hist.intervals))
+	if r1.hist.n != 1 {
+		t.Fatalf("expected 1 loss event, got %d intervals", r1.hist.n)
 	}
 
 	r2 := NewReceiver(0.001)
@@ -255,8 +255,8 @@ func TestReceiverAggregatesLossesWithinRTT(t *testing.T) {
 		step(r2, false) // 50ms elapse >> rtt
 	}
 	step(r2, true)
-	if len(r2.hist.intervals) != 2 {
-		t.Fatalf("expected 2 loss events, got %d", len(r2.hist.intervals))
+	if r2.hist.n != 2 {
+		t.Fatalf("expected 2 loss events, got %d", r2.hist.n)
 	}
 }
 

@@ -8,6 +8,7 @@ package transport
 
 import (
 	"fmt"
+	"sync"
 
 	"bullet/internal/netem"
 	"bullet/internal/sim"
@@ -26,17 +27,21 @@ type flowKey struct {
 	id  uint32
 }
 
-type dataMsg struct {
-	flowID  uint32
-	flowSeq uint64
-	ts      float64 // sender send time, seconds
-	rtt     float64 // sender's RTT estimate
-}
+// Data packets carry their transport framing (flow id, flow sequence,
+// timestamp, RTT echo) inline in netem.Packet fields — no per-packet
+// payload allocation on the send path.
 
 type feedbackMsg struct {
 	flowID uint32
 	fb     tfrc.Feedback
 }
+
+// fbPool recycles feedback messages: the receiving endpoint returns
+// each report to the pool once applied, so the once-per-RTT feedback
+// stream of every flow allocates nothing in steady state. Reports
+// dropped in flight (failed links, crashed endpoints) are simply
+// collected by the GC.
+var fbPool = sync.Pool{New: func() any { return new(feedbackMsg) }}
 
 type closeMsg struct {
 	flowID uint32
@@ -266,7 +271,7 @@ func (f *Flow) TrySend(seq uint64, size int) bool {
 	f.ep.net.Send(netem.Packet{
 		Kind: netem.Data, Seq: seq, Size: wire,
 		From: f.ep.node, To: f.to, Trace: trace,
-		Payload: &dataMsg{flowID: f.id, flowSeq: f.seq, ts: now, rtt: f.snd.RTT()},
+		FlowID: f.id, FlowSeq: f.seq, TS: now, RTT: f.snd.RTT(),
 	})
 	f.seq++
 	return true
@@ -289,6 +294,9 @@ type recvFlow struct {
 	rcv     *tfrc.Receiver
 	fbTimer sim.Timer
 	idle    int
+	// fbFn caches the sendFeedback method value so the per-RTT feedback
+	// rescheduling allocates no closure.
+	fbFn func()
 }
 
 func (rf *recvFlow) stop() {
@@ -301,7 +309,7 @@ func (rf *recvFlow) scheduleFeedback() {
 	if d < sim.Millisecond {
 		d = sim.Millisecond
 	}
-	rf.fbTimer = rf.ep.eng.After(d, rf.sendFeedback)
+	rf.fbTimer = rf.ep.eng.After(d, rf.fbFn)
 }
 
 func (rf *recvFlow) sendFeedback() {
@@ -328,7 +336,10 @@ func (rf *recvFlow) sendFeedback() {
 		}
 	}
 	fb.RTTSample = sample
-	rf.ep.sendTransportControl(rf.key.src, &feedbackMsg{flowID: rf.key.id, fb: fb}, FeedbackSize)
+	m := fbPool.Get().(*feedbackMsg)
+	m.flowID = rf.key.id
+	m.fb = fb
+	rf.ep.sendTransportControl(rf.key.src, m, FeedbackSize)
 	rf.scheduleFeedback()
 }
 
@@ -337,16 +348,16 @@ func (ep *Endpoint) onPacket(pkt netem.Packet) {
 	if ep.failed {
 		return
 	}
-	switch m := pkt.Payload.(type) {
-	case *dataMsg:
-		key := flowKey{src: pkt.From, id: m.flowID}
+	if pkt.Kind == netem.Data {
+		key := flowKey{src: pkt.From, id: pkt.FlowID}
 		rf := ep.recvFlows[key]
 		if rf == nil {
-			rf = &recvFlow{ep: ep, key: key, rcv: tfrc.NewReceiver(m.rtt)}
+			rf = &recvFlow{ep: ep, key: key, rcv: tfrc.NewReceiver(pkt.RTT)}
+			rf.fbFn = rf.sendFeedback
 			ep.recvFlows[key] = rf
 		}
 		now := ep.eng.Now().ToSeconds()
-		rf.rcv.OnData(now, m.flowSeq, pkt.Size, m.ts, m.rtt)
+		rf.rcv.OnData(now, pkt.FlowSeq, pkt.Size, pkt.TS, pkt.RTT)
 		if rf.fbTimer.Stopped() {
 			rf.idle = 0
 			rf.scheduleFeedback()
@@ -355,11 +366,15 @@ func (ep *Endpoint) onPacket(pkt netem.Packet) {
 		if ep.onData != nil {
 			ep.onData(pkt.From, pkt.Seq, pkt.Size-DataHeaderSize)
 		}
+		return
+	}
+	switch m := pkt.Payload.(type) {
 	case *feedbackMsg:
 		ep.transportCtlIn += uint64(pkt.Size)
 		if f, ok := ep.sendFlows[m.flowID]; ok {
 			f.snd.OnFeedback(ep.eng.Now().ToSeconds(), m.fb)
 		}
+		fbPool.Put(m)
 	case *closeMsg:
 		ep.transportCtlIn += uint64(pkt.Size)
 		key := flowKey{src: pkt.From, id: m.flowID}
