@@ -54,6 +54,24 @@ func BenchmarkFig07(b *testing.B) {
 	})
 }
 
+// BenchmarkFig07Sharded is the same Figure 7 run partitioned into 4
+// simulation shards. Its output (and so every reported metric) is
+// byte-identical to BenchmarkFig07's; only ns/op should differ — this
+// is the wall-clock win of the parallel engine on multi-core hosts.
+func BenchmarkFig07Sharded(b *testing.B) {
+	b.ReportAllocs()
+	sc := bullet.SmallScale
+	sc.Shards = 4
+	for i := 0; i < b.N; i++ {
+		r, err := bullet.RunExperiment("fig7", sc, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.MeanTail("useful_total", 0.4), "useful_kbps")
+		b.ReportMetric(r.Summary["duplicate_ratio"], "dup_ratio")
+	}
+}
+
 func BenchmarkFig08(b *testing.B) {
 	benchExperiment(b, "fig8", func(b *testing.B, r *bullet.ExperimentResult) {
 		if len(r.CDF) > 0 {
@@ -194,10 +212,11 @@ func benchAblation(b *testing.B, mutate func(*bullet.Config)) {
 		cfg.Start = 20 * bullet.Second
 		cfg.Duration = 130 * bullet.Second
 		mutate(&cfg)
-		_, col, err := w.DeployBullet(tree, cfg)
+		d, err := w.Deploy(bullet.BulletProtocol{Config: cfg}, tree)
 		if err != nil {
 			b.Fatal(err)
 		}
+		col := d.Collector()
 		w.Run(150 * bullet.Second)
 		b.ReportMetric(col.MeanOver(70*bullet.Second, 150*bullet.Second, bullet.Useful), "useful_kbps")
 		b.ReportMetric(col.DuplicateRatio(), "dup_ratio")
@@ -258,12 +277,11 @@ func BenchmarkPaperScaleStartup(b *testing.B) {
 		cfg := bullet.DefaultConfig(600)
 		cfg.Start = bullet.PaperScale.Start
 		cfg.Duration = bullet.PaperScale.Duration
-		sys, col, err := w.DeployBullet(tree, cfg)
+		d, err := w.Deploy(bullet.BulletProtocol{Config: cfg}, tree)
 		if err != nil {
 			b.Fatal(err)
 		}
-		_ = sys
-		b.ReportMetric(float64(col.Nodes()), "participants")
+		b.ReportMetric(float64(d.Collector().Nodes()), "participants")
 	}
 }
 
@@ -277,12 +295,13 @@ func BenchmarkEmulatorPacketForwarding(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	col, err := w.DeployStreamer(tree, bullet.StreamConfig{
+	d, err := w.Deploy(bullet.StreamerProtocol{Config: bullet.StreamConfig{
 		RateKbps: 600, PacketSize: 1500, Start: 0, Duration: bullet.Time(b.N) * bullet.Second,
-	})
+	}}, tree)
 	if err != nil {
 		b.Fatal(err)
 	}
+	col := d.Collector()
 	b.ResetTimer()
 	w.Run(bullet.Time(b.N) * bullet.Second)
 	b.StopTimer()

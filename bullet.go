@@ -184,6 +184,14 @@ type WorldConfig struct {
 	// Seed makes the whole world (topology, emulation, protocols)
 	// deterministic.
 	Seed int64
+	// Shards requests single-run parallel simulation: the topology is
+	// partitioned into up to Shards shards (whole stub domains), each
+	// simulated on its own goroutine with conservative barrier
+	// synchronization. 0 or 1 runs serially. Any value produces traces
+	// and metrics byte-identical to the serial run — sharding is purely
+	// an execution-speed knob. The effective count may be lower than
+	// requested (World.Shards reports it).
+	Shards int
 }
 
 // World bundles an emulated network: engine, topology, router, netem.
@@ -218,7 +226,11 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 	}
 	eng := sim.NewEngine(cfg.Seed)
 	rt := topology.NewRouter(g)
-	return &World{eng: eng, g: g, rt: rt, net: netem.New(eng, g, rt, netem.Config{})}, nil
+	net := netem.New(eng, g, rt, netem.Config{})
+	if cfg.Shards > 1 {
+		net.EnableShards(cfg.Shards)
+	}
+	return &World{eng: eng, g: g, rt: rt, net: net}, nil
 }
 
 // Graph returns the generated topology.
@@ -236,8 +248,13 @@ func (w *World) Participants() []int { return w.g.Clients }
 // Now returns the current virtual time.
 func (w *World) Now() Time { return w.eng.Now() }
 
-// Run advances virtual time to `until`.
-func (w *World) Run(until Time) { w.eng.Run(until) }
+// Shards returns the effective shard count the world executes with
+// (1 = serial).
+func (w *World) Shards() int { return w.net.Shards() }
+
+// Run advances virtual time to `until`, serially or across the world's
+// shards (WorldConfig.Shards). The trace is identical either way.
+func (w *World) Run(until Time) { w.net.Run(until) }
 
 // At schedules fn at virtual time t (e.g. to inject a failure).
 func (w *World) At(t Time, fn func()) { w.eng.At(t, fn) }
@@ -324,62 +341,6 @@ func (w *World) BottleneckTree() (*Tree, error) {
 // OvercastTree builds an Overcast-like online bandwidth-optimized tree.
 func (w *World) OvercastTree(maxDegree int) (*Tree, error) {
 	return overlay.Overcast(w.rt, w.g.Clients, w.g.Clients[0], 1500, maxDegree)
-}
-
-// DeployBullet instantiates Bullet over the tree and returns the
-// system and its metrics collector.
-//
-// Deprecated: use Deploy with a BulletProtocol, which returns a
-// Deployment handle supporting runtime membership churn:
-//
-//	d, err := w.Deploy(bullet.BulletProtocol{Config: cfg}, tree)
-func (w *World) DeployBullet(tree *Tree, cfg Config) (*System, *Collector, error) {
-	d, err := w.Deploy(BulletProtocol{Config: cfg}, tree)
-	if err != nil {
-		return nil, nil, err
-	}
-	dep := d.(*deployment)
-	return dep.sys.(*core.System), dep.col, nil
-}
-
-// DeployStreamer instantiates the plain tree-streaming baseline.
-//
-// Deprecated: use Deploy with a StreamerProtocol:
-//
-//	d, err := w.Deploy(bullet.StreamerProtocol{Config: cfg}, tree)
-func (w *World) DeployStreamer(tree *Tree, cfg StreamConfig) (*Collector, error) {
-	d, err := w.Deploy(StreamerProtocol{Config: cfg}, tree)
-	if err != nil {
-		return nil, err
-	}
-	return d.Collector(), nil
-}
-
-// DeployGossip instantiates the push-gossip baseline.
-//
-// Deprecated: use Deploy with a GossipProtocol (nil tree: gossip needs
-// none):
-//
-//	d, err := w.Deploy(bullet.GossipProtocol{Config: cfg}, nil)
-func (w *World) DeployGossip(cfg GossipConfig) (*Collector, error) {
-	d, err := w.Deploy(GossipProtocol{Config: cfg}, nil)
-	if err != nil {
-		return nil, err
-	}
-	return d.Collector(), nil
-}
-
-// DeployAntiEntropy instantiates streaming + anti-entropy recovery.
-//
-// Deprecated: use Deploy with an AntiEntropyProtocol:
-//
-//	d, err := w.Deploy(bullet.AntiEntropyProtocol{Config: cfg}, tree)
-func (w *World) DeployAntiEntropy(tree *Tree, cfg AntiEntropyConfig) (*Collector, error) {
-	d, err := w.Deploy(AntiEntropyProtocol{Config: cfg}, tree)
-	if err != nil {
-		return nil, err
-	}
-	return d.Collector(), nil
 }
 
 // RunExperiment executes one of the paper's table/figure reproductions

@@ -33,10 +33,11 @@ func TestWorldDeterminism(t *testing.T) {
 		cfg := bullet.DefaultConfig(400)
 		cfg.Duration = 60 * bullet.Second
 		cfg.MaxSenders, cfg.MaxReceivers = 4, 4
-		_, col, err := w.DeployBullet(tree, cfg)
+		d, err := w.Deploy(bullet.BulletProtocol{Config: cfg}, tree)
 		if err != nil {
 			t.Fatal(err)
 		}
+		col := d.Collector()
 		w.Run(70 * bullet.Second)
 		return col.MeanOver(0, 70*bullet.Second, bullet.Useful)
 	}
@@ -111,9 +112,9 @@ func TestFacadeBaselines(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := w.DeployGossip(bullet.GossipConfig{
+	if _, err := w.Deploy(bullet.GossipProtocol{Config: bullet.GossipConfig{
 		RateKbps: 300, PacketSize: 1500, Duration: 30 * bullet.Second,
-	}); err != nil {
+	}}, nil); err != nil {
 		t.Fatal(err)
 	}
 	w.Run(40 * bullet.Second)
@@ -126,12 +127,13 @@ func TestFacadeBaselines(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	col, err := w2.DeployAntiEntropy(tree, bullet.AntiEntropyConfig{
+	d, err := w2.Deploy(bullet.AntiEntropyProtocol{Config: bullet.AntiEntropyConfig{
 		RateKbps: 300, PacketSize: 1500, Duration: 40 * bullet.Second,
-	})
+	}}, tree)
 	if err != nil {
 		t.Fatal(err)
 	}
+	col := d.Collector()
 	w2.Run(60 * bullet.Second)
 	if col.Total(bullet.Useful) == 0 {
 		t.Fatal("anti-entropy delivered nothing")

@@ -6,7 +6,7 @@
 //	bullet-sim -experiment fig7 -scale small -seed 42
 //	bullet-sim -experiment all -scale medium -out results/
 //	bullet-sim -experiment fig6,fig7,fig8 -parallel 4
-//	bullet-sim -experiment dyn-partition,dyn-flashcrowd -parallel 2
+//	bullet-sim -experiment churn-xl -scale xl -shards 8
 //	bullet-sim -list
 //
 // Scales: small (seconds of wall-clock), medium, xl (the CI smoke
@@ -20,10 +20,14 @@
 // partitions, flash crowds, oscillating links) against Bullet and the
 // plain streaming baseline; see -list for ids.
 //
-// Multiple experiments (a comma-separated list, or "all") fan out
-// across -parallel worker goroutines, each with its own engine and
-// emulator. Results are printed in input order and are byte-identical
-// to a serial run: every experiment is a pure function of
+// Execution knobs are orthogonal to what the experiments compute and
+// never change output bytes. Multiple experiments (a comma-separated
+// list, or "all") fan out across -parallel worker goroutines, each
+// with its own engine and emulator; -shards additionally partitions
+// every run's topology into that many conservatively synchronized
+// simulation shards (see the README's "Parallel simulation" section).
+// Results are printed in input order and are byte-identical to a
+// serial run: every experiment is a pure function of
 // (experiment, scale, seed). Unknown experiment ids fail the command
 // with a non-zero exit, but only after every completed result has been
 // emitted.
@@ -43,6 +47,43 @@ import (
 	"bullet/internal/experiments"
 )
 
+// RunConfig bundles the execution knobs of one bullet-sim invocation —
+// how the experiments execute, as opposed to what they compute. None
+// of these fields may change output bytes; they are validated as one
+// unit so misuse fails before any computation starts.
+type RunConfig struct {
+	Parallel   int    // worker goroutines across experiments (> 0)
+	Shards     int    // simulation shards within each run (0 or 1 = serial)
+	CPUProfile string // CPU profile path covering the runs ("" = off)
+	MemProfile string // allocation profile path, written after the runs ("" = off)
+}
+
+// RunConfigError reports an invalid execution knob, naming the flag it
+// came from.
+type RunConfigError struct {
+	Flag  string // flag name without the dash, e.g. "parallel"
+	Value int
+	Why   string
+}
+
+func (e *RunConfigError) Error() string {
+	return fmt.Sprintf("-%s %d: %s", e.Flag, e.Value, e.Why)
+}
+
+// Validate rejects nonsensical execution configurations with a
+// *RunConfigError.
+func (c RunConfig) Validate() error {
+	if c.Parallel <= 0 {
+		return &RunConfigError{Flag: "parallel", Value: c.Parallel,
+			Why: "worker count must be positive"}
+	}
+	if c.Shards < 0 {
+		return &RunConfigError{Flag: "shards", Value: c.Shards,
+			Why: "shard count cannot be negative (0 or 1 means serial)"}
+	}
+	return nil
+}
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
@@ -54,15 +95,17 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		experiment = fs.String("experiment", "", "experiment id, comma-separated list, or \"all\" (see -list)")
-		scaleName  = fs.String("scale", "small", "small | medium | paper")
+		scaleName  = fs.String("scale", "small", "small | medium | xl | paper")
 		seed       = fs.Int64("seed", 42, "master RNG seed; runs are a pure function of (experiment, scale, seed)")
 		outDir     = fs.String("out", "", "directory for per-experiment TSV files (default: stdout)")
-		parallel   = fs.Int("parallel", 0, "worker goroutines for multi-experiment runs (0 = GOMAXPROCS)")
 		list       = fs.Bool("list", false, "list experiments and exit")
 		quiet      = fs.Bool("q", false, "suppress progress output")
-		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
-		memProfile = fs.String("memprofile", "", "write an allocation profile (after the runs) to this file")
+		cfg        RunConfig
 	)
+	fs.IntVar(&cfg.Parallel, "parallel", runtime.GOMAXPROCS(0), "worker goroutines for multi-experiment runs")
+	fs.IntVar(&cfg.Shards, "shards", 0, "simulation shards per experiment run (0 or 1 = serial; output is identical at any value)")
+	fs.StringVar(&cfg.CPUProfile, "cpuprofile", "", "write a CPU profile of the experiment runs to this file")
+	fs.StringVar(&cfg.MemProfile, "memprofile", "", "write an allocation profile (after the runs) to this file")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
@@ -72,6 +115,10 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout, n)
 		}
 		return 0
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(stderr, "bullet-sim:", err)
+		return 2
 	}
 	if *experiment == "" {
 		fmt.Fprintln(stderr, "bullet-sim: -experiment is required (or -list)")
@@ -83,6 +130,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "bullet-sim:", err)
 		return 1
 	}
+	scale.Shards = cfg.Shards
 	var ids []string
 	if *experiment == "all" {
 		ids = experiments.Names()
@@ -102,8 +150,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	// code edits needed. Profiles cover exactly the experiment runs.
 	// Both files are created up front: an unwritable path must fail
 	// before minutes of computation, not discard completed results.
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
+	if cfg.CPUProfile != "" {
+		f, err := os.Create(cfg.CPUProfile)
 		if err != nil {
 			fmt.Fprintln(stderr, "bullet-sim:", err)
 			return 1
@@ -119,8 +167,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		}()
 	}
 	var memFile *os.File
-	if *memProfile != "" {
-		f, err := os.Create(*memProfile)
+	if cfg.MemProfile != "" {
+		f, err := os.Create(cfg.MemProfile)
 		if err != nil {
 			fmt.Fprintln(stderr, "bullet-sim:", err)
 			return 1
@@ -133,7 +181,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "running %d experiment(s) at %s scale (seed %d)...\n",
 			len(runs), scale.Name, *seed)
 	}
-	results := experiments.RunAll(runs, *parallel)
+	results := experiments.RunAll(runs, cfg.Parallel)
 	if !*quiet {
 		fmt.Fprintf(stderr, "finished in %v\n", time.Since(start).Round(time.Millisecond))
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -211,5 +212,62 @@ func TestXLScaleRecognized(t *testing.T) {
 	// bad scale would have failed with "unknown scale".
 	if code != 1 || strings.Contains(errb, "unknown scale") {
 		t.Fatalf("xl scale not recognized: exit %d, stderr %s", code, errb)
+	}
+}
+
+// Execution-knob misuse is rejected up front with a RunConfigError
+// naming the flag, before any experiment runs.
+func TestRunConfigValidationExits2(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-q", "-experiment", "table1", "-parallel", "0"}, "-parallel 0"},
+		{[]string{"-q", "-experiment", "table1", "-parallel", "-3"}, "-parallel -3"},
+		{[]string{"-q", "-experiment", "table1", "-shards", "-1"}, "-shards -1"},
+	} {
+		code, out, errb := runCLI(t, tc.args...)
+		if code != 2 {
+			t.Fatalf("%v: exit %d, want 2", tc.args, code)
+		}
+		if !strings.Contains(errb, tc.want) {
+			t.Errorf("%v: stderr %q missing %q", tc.args, errb, tc.want)
+		}
+		if out != "" {
+			t.Errorf("%v: experiment ran despite invalid config", tc.args)
+		}
+	}
+}
+
+// RunConfig.Validate returns the typed *RunConfigError so callers can
+// inspect which knob was bad; a sensible config passes.
+func TestRunConfigErrorTyped(t *testing.T) {
+	err := RunConfig{Parallel: -1}.Validate()
+	var rce *RunConfigError
+	if !errors.As(err, &rce) {
+		t.Fatalf("wrong error type %T", err)
+	}
+	if rce.Flag != "parallel" || rce.Value != -1 {
+		t.Errorf("error fields Flag=%q Value=%d, want parallel/-1", rce.Flag, rce.Value)
+	}
+	if err := (RunConfig{Parallel: 4, Shards: 8}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+// -shards does not change the output bytes: a sharded run of the same
+// experiments is byte-identical to the serial one.
+func TestShardedOutputMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("several small-scale runs; skipped in -short")
+	}
+	args := []string{"-q", "-experiment", "table1,dyn-bottleneck", "-scale", "small"}
+	_, serial, _ := runCLI(t, append(args, "-shards", "1")...)
+	_, sharded, _ := runCLI(t, append(args, "-shards", "8")...)
+	if serial != sharded {
+		t.Fatal("sharded output differs from serial")
+	}
+	if len(serial) == 0 {
+		t.Fatal("no output produced")
 	}
 }

@@ -39,10 +39,11 @@ func main() {
 	cfg := bullet.DefaultConfig(600)
 	cfg.Start = 10 * bullet.Second
 	cfg.Duration = 170 * bullet.Second
-	_, col, err := w.DeployBullet(tree, cfg)
+	d, err := w.Deploy(bullet.BulletProtocol{Config: cfg}, tree)
 	if err != nil {
 		log.Fatal(err)
 	}
+	col := d.Collector()
 
 	// The schedule: a 30s partition, then an oscillating bottleneck.
 	w.Scenario(bullet.NewScenario().

@@ -35,10 +35,11 @@ func main() {
 	cfg.Start = 20 * bullet.Second
 	cfg.Duration = 160 * bullet.Second
 	cfg.MaxSenders, cfg.MaxReceivers = 4, 4
-	sys, col, err := w.DeployBullet(tree, cfg)
+	d, err := w.Deploy(bullet.BulletProtocol{Config: cfg}, tree)
 	if err != nil {
 		log.Fatal(err)
 	}
+	col := d.Collector()
 
 	// Pick the worst-case victim: the root child with most descendants.
 	victim, desc := -1, -1
@@ -49,7 +50,11 @@ func main() {
 	}
 	const failAt = 100 * bullet.Second
 	if victim >= 0 {
-		w.At(failAt, func() { sys.Fail(victim) })
+		w.At(failAt, func() {
+			if err := d.Crash(victim); err != nil {
+				log.Fatal(err)
+			}
+		})
 		fmt.Printf("will fail node %d (%d descendants) at t=%v s\n",
 			victim, desc, failAt.ToSeconds())
 	}

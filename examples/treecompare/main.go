@@ -48,13 +48,14 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		col, err := w.DeployStreamer(tree, bullet.StreamConfig{
+		d, err := w.Deploy(bullet.StreamerProtocol{Config: bullet.StreamConfig{
 			RateKbps: rateKbps, PacketSize: 1500,
 			Start: 10 * bullet.Second, Duration: 110 * bullet.Second,
-		})
+		}}, tree)
 		if err != nil {
 			log.Fatal(err)
 		}
+		col := d.Collector()
 		w.Run(120 * bullet.Second)
 		obj := overlay.BottleneckRate(w.Router(), tree, 1500) * 8 / 1000
 		fmt.Printf("%-20s %8.0f %6d %14.0f\n",

@@ -27,17 +27,18 @@ func TestGoldenStreamerTrace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	col, err := w.DeployStreamer(tree, bullet.StreamConfig{
+	d, err := w.Deploy(bullet.StreamerProtocol{Config: bullet.StreamConfig{
 		RateKbps: 600, PacketSize: 1500,
 		Start: 5 * bullet.Second, Duration: 60 * bullet.Second,
-	})
+	}}, tree)
 	if err != nil {
 		t.Fatal(err)
 	}
+	col := d.Collector()
 	w.Run(70 * bullet.Second)
 
-	if fired := w.Network().Engine().Fired(); fired != 712704 {
-		t.Errorf("Engine.Fired() = %d, want 712704", fired)
+	if fired := w.Network().Engine().Fired(); fired != 737583 {
+		t.Errorf("Engine.Fired() = %d, want 737583", fired)
 	}
 	st := w.Network().Stats()
 	checks := []struct {
@@ -45,12 +46,12 @@ func TestGoldenStreamerTrace(t *testing.T) {
 		got  uint64
 		want uint64
 	}{
-		{"DataBytesSent", st.DataBytesSent, 56634888},
-		{"DataBytesDelivered", st.DataBytesDelivered, 54030372},
-		{"ControlBytes", st.ControlBytes, 1204080},
-		{"CongestionDrops", st.CongestionDrops, 231},
-		{"RandomLossDrops", st.RandomLossDrops, 1478},
-		{"DeliveredPackets", st.DeliveredPackets, 60538},
+		{"DataBytesSent", st.DataBytesSent, 57793128},
+		{"DataBytesDelivered", st.DataBytesDelivered, 54992016},
+		{"ControlBytes", st.ControlBytes, 1244160},
+		{"CongestionDrops", st.CongestionDrops, 275},
+		{"RandomLossDrops", st.RandomLossDrops, 1563},
+		{"DeliveredPackets", st.DeliveredPackets, 62004},
 	}
 	for _, c := range checks {
 		if c.got != c.want {
@@ -58,8 +59,8 @@ func TestGoldenStreamerTrace(t *testing.T) {
 		}
 	}
 	useful := col.MeanOver(30*bullet.Second, 70*bullet.Second, bullet.Useful)
-	if math.Abs(useful-172.61666666666667) > 1e-9 {
-		t.Errorf("useful = %.12f Kbps, want 172.616666666667", useful)
+	if math.Abs(useful-184.10833333333332) > 1e-9 {
+		t.Errorf("useful = %.12f Kbps, want 184.108333333333", useful)
 	}
 }
 
@@ -85,20 +86,21 @@ func TestGoldenDynamicScenarioTrace(t *testing.T) {
 	if victim != 1488 || best != 18 || lid != 1873 {
 		t.Fatalf("victim selection drifted: victim=%d desc=%d link=%d, want 1488/18/1873", victim, best, lid)
 	}
-	col, err := w.DeployStreamer(tree, bullet.StreamConfig{
+	d, err := w.Deploy(bullet.StreamerProtocol{Config: bullet.StreamConfig{
 		RateKbps: 600, PacketSize: 1500,
 		Start: 5 * bullet.Second, Duration: 60 * bullet.Second,
-	})
+	}}, tree)
 	if err != nil {
 		t.Fatal(err)
 	}
+	col := d.Collector()
 	w.Scenario(bullet.NewScenario().
 		At(20*bullet.Second, bullet.FailLink(lid)).
 		At(40*bullet.Second, bullet.RestoreLink(lid)))
 	w.Run(70 * bullet.Second)
 
-	if fired := w.Network().Engine().Fired(); fired != 527297 {
-		t.Errorf("Engine.Fired() = %d, want 527297", fired)
+	if fired := w.Network().Engine().Fired(); fired != 556041 {
+		t.Errorf("Engine.Fired() = %d, want 556041", fired)
 	}
 	st := w.Network().Stats()
 	checks := []struct {
@@ -106,14 +108,14 @@ func TestGoldenDynamicScenarioTrace(t *testing.T) {
 		got  uint64
 		want uint64
 	}{
-		{"DataBytesSent", st.DataBytesSent, 41931336},
-		{"DataBytesDelivered", st.DataBytesDelivered, 39940992},
-		{"ControlBytes", st.ControlBytes, 880848},
-		{"CongestionDrops", st.CongestionDrops, 244},
-		{"RandomLossDrops", st.RandomLossDrops, 1017},
-		{"LinkDownDrops", st.LinkDownDrops, 5},
-		{"ReroutedPackets", st.ReroutedPackets, 129},
-		{"DeliveredPackets", st.DeliveredPackets, 44493},
+		{"DataBytesSent", st.DataBytesSent, 43886628},
+		{"DataBytesDelivered", st.DataBytesDelivered, 41778936},
+		{"ControlBytes", st.ControlBytes, 927984},
+		{"CongestionDrops", st.CongestionDrops, 264},
+		{"RandomLossDrops", st.RandomLossDrops, 1069},
+		{"LinkDownDrops", st.LinkDownDrops, 6},
+		{"ReroutedPackets", st.ReroutedPackets, 119},
+		{"DeliveredPackets", st.DeliveredPackets, 46682},
 	}
 	for _, c := range checks {
 		if c.got != c.want {
@@ -121,8 +123,8 @@ func TestGoldenDynamicScenarioTrace(t *testing.T) {
 		}
 	}
 	useful := col.MeanOver(30*bullet.Second, 70*bullet.Second, bullet.Useful)
-	if math.Abs(useful-121.433333333333) > 1e-9 {
-		t.Errorf("useful = %.12f Kbps, want 121.433333333333", useful)
+	if math.Abs(useful-132.325) > 1e-9 {
+		t.Errorf("useful = %.12f Kbps, want 132.325000000000", useful)
 	}
 }
 
@@ -188,11 +190,11 @@ func TestGoldenFig07Metrics(t *testing.T) {
 		got  float64
 		want float64
 	}{
-		{"useful_total tail mean", r.MeanTail("useful_total", 0.4), 551.8},
-		{"raw_total tail mean", r.MeanTail("raw_total", 0.4), 658.78},
-		{"duplicate_ratio", r.Summary["duplicate_ratio"], 0.160738152},
-		{"control_overhead_kbps", r.Summary["control_overhead_kbps"], 19.877344},
-		{"link_stress_avg", r.Summary["link_stress_avg"], 2.392529259},
+		{"useful_total tail mean", r.MeanTail("useful_total", 0.4), 540.27},
+		{"raw_total tail mean", r.MeanTail("raw_total", 0.4), 634.39},
+		{"duplicate_ratio", r.Summary["duplicate_ratio"], 0.159561132},
+		{"control_overhead_kbps", r.Summary["control_overhead_kbps"], 19.964576},
+		{"link_stress_avg", r.Summary["link_stress_avg"], 2.383302549},
 	}
 	for _, c := range checks {
 		if math.Abs(c.got-c.want) > 1e-6 {

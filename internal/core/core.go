@@ -312,6 +312,7 @@ func (sys *System) addNode(id int) error {
 		parent = p
 	}
 	ep := transport.NewEndpoint(sys.net, id)
+	sched := ep.Scheduler()
 	kids := sys.tree.Children(id)
 	n := &Node{
 		sys:      sys,
@@ -319,7 +320,7 @@ func (sys *System) addNode(id int) error {
 		ep:       ep,
 		parent:   parent,
 		children: make([]*childInfo, 0, len(kids)),
-		rng:      sys.eng.RNG(int64(id)*7919 + 0x42756c6c),
+		rng:      sched.RNG(int64(id)*7919 + 0x42756c6c),
 		ws:       workset.New(),
 		ticket:   sketch.NewTicket(sys.perms),
 		filter:   bloom.NewForCapacity(int(sys.cfg.RecoveryWindow), sys.cfg.BloomFPRate),
@@ -349,9 +350,9 @@ func (sys *System) addNode(id int) error {
 	// Relative scheduling: at deploy (virtual time zero) this is
 	// identical to absolute, and it lets addNode serve late joiners.
 	jitter := sim.Duration(n.rng.Int63n(int64(sys.cfg.FilterRefresh)))
-	sys.eng.ScheduleAfter(sys.cfg.FilterRefresh+jitter, n.refreshFn)
-	sys.eng.ScheduleAfter(sys.cfg.EvalInterval+jitter, n.evalFn)
-	sys.eng.ScheduleAfter(sys.cfg.PumpInterval+jitter%sys.cfg.PumpInterval, n.pumpFn)
+	sched.ScheduleAfter(sys.cfg.FilterRefresh+jitter, n.refreshFn)
+	sched.ScheduleAfter(sys.cfg.EvalInterval+jitter, n.evalFn)
+	sched.ScheduleAfter(sys.cfg.PumpInterval+jitter%sys.cfg.PumpInterval, n.pumpFn)
 	sys.nodes.Put(id, n)
 	return nil
 }
@@ -361,8 +362,9 @@ func (sys *System) addNode(id int) error {
 // relay path via ingest, whatever source produced it.
 func (sys *System) scheduleSource(root *Node) {
 	end := sys.cfg.Start + sys.cfg.Duration
-	workload.Pump(sys.eng, sys.src, sys.cfg.Start,
-		func() bool { return sys.eng.Now() >= end || root.ep.Failed() || sys.stopped },
+	sched := root.ep.Scheduler()
+	workload.Pump(sched, sys.src, sys.cfg.Start,
+		func() bool { return sched.Now() >= end || root.ep.Failed() || sys.stopped },
 		func(seq uint64, size int) { root.ingest(seq, size) })
 }
 
@@ -413,7 +415,7 @@ func (sys *System) MeanSenders() float64 {
 
 // onData handles a data packet from the parent stream or a peer.
 func (n *Node) onData(from int, seq uint64, size int) {
-	now := n.sys.eng.Now()
+	now := n.ep.Scheduler().Now()
 	col := n.sys.col
 	col.Add(now, n.id, metrics.Raw, size)
 	if from == n.parent {
@@ -456,7 +458,7 @@ func (n *Node) ingest(seq uint64, size int) {
 	n.ws.Add(seq)
 	n.ticket.Add(seq)
 	n.filter.Add(seq)
-	n.arrivals.Set(seq, n.sys.eng.Now())
+	n.arrivals.Set(seq, n.ep.Scheduler().Now())
 	n.epochPkts++
 	n.feedReceivers(seq)
 	n.disjointSend(seq, size)
@@ -780,7 +782,7 @@ func (n *Node) onFilterRefresh(from int, m *filterRefreshMsg) {
 	// filter has had time to reflect them; keep recent (in-flight)
 	// entries so a refresh does not trigger resends. Lost peer packets
 	// therefore retry after about one refresh cycle.
-	rf.sentSince.DeleteOlder(n.sys.eng.Now() - 2*sim.Second)
+	rf.sentSince.DeleteOlder(n.ep.Scheduler().Now() - 2*sim.Second)
 	n.rebuildQueue(rf)
 	if rowChanged {
 		// Row handoff: the filter in this refresh cannot reflect what
@@ -850,7 +852,7 @@ func (n *Node) pumpTick() {
 	for _, rf := range n.receivers {
 		n.pumpReceiver(rf)
 	}
-	n.sys.eng.ScheduleAfter(n.sys.cfg.PumpInterval, n.pumpFn)
+	n.ep.Scheduler().ScheduleAfter(n.sys.cfg.PumpInterval, n.pumpFn)
 }
 
 func (n *Node) pumpReceiver(rf *recvPeerInfo) {
@@ -872,7 +874,7 @@ func (n *Node) pumpReceiver(rf *recvPeerInfo) {
 // returns false when the budget ran out.
 func (n *Node) drainQueue(rf *recvPeerInfo, q *[]uint64, gated bool) bool {
 	size := n.sys.cfg.PacketSize
-	now := n.sys.eng.Now()
+	now := n.ep.Scheduler().Now()
 	for len(*q) > 0 {
 		seq := (*q)[0]
 		if !n.ws.Held(seq) {
@@ -939,7 +941,7 @@ func (n *Node) refreshTick() {
 	}
 	n.sendRefreshes()
 	n.recvWindow = 0
-	n.sys.eng.ScheduleAfter(n.sys.cfg.FilterRefresh, n.refreshFn)
+	n.ep.Scheduler().ScheduleAfter(n.sys.cfg.FilterRefresh, n.refreshFn)
 }
 
 // slideWindow trims the working set to the recovery window and
@@ -972,7 +974,7 @@ func (n *Node) evalTick() {
 		n.evalSenders()
 		n.evalReceivers()
 	}
-	n.sys.eng.ScheduleAfter(n.sys.cfg.EvalInterval, n.evalFn)
+	n.ep.Scheduler().ScheduleAfter(n.sys.cfg.EvalInterval, n.evalFn)
 }
 
 const minEvalSample = 20 // packets before a sender can be judged

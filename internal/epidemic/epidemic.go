@@ -86,7 +86,6 @@ type GossipSystem struct {
 	participants []int
 	cfg          GossipConfig
 	col          *metrics.Collector
-	eng          *sim.Engine
 	src          workload.Source
 
 	nodes   nodeset.Table[*gossipNode]
@@ -113,7 +112,6 @@ func DeployGossip(net *netem.Network, participants []int, source int, cfg Gossip
 		participants: append([]int(nil), participants...),
 		cfg:          cfg,
 		col:          col,
-		eng:          net.Engine(),
 		net:          net,
 		source:       source,
 		src:          workload.Default(cfg.Workload, cfg.RateKbps, cfg.PacketSize),
@@ -131,11 +129,13 @@ func DeployGossip(net *netem.Network, participants []int, source int, cfg Gossip
 		n.ep.OnData(func(from int, seq uint64, size int) { sys.onData(id, from, seq, size) })
 		sys.nodes.Put(id, n)
 	}
-	// Source pump: packet generation is owned by the workload layer.
+	// Source pump: packet generation is owned by the workload layer,
+	// scheduled on the source node's own scheduler.
 	end := cfg.Start + cfg.Duration
 	srcNode := sys.nodes.At(source)
-	workload.Pump(sys.eng, sys.src, cfg.Start,
-		func() bool { return sys.eng.Now() >= end || sys.stopped },
+	sched := srcNode.ep.Scheduler()
+	workload.Pump(sched, sys.src, cfg.Start,
+		func() bool { return sched.Now() >= end || sys.stopped },
 		func(seq uint64, size int) {
 			srcNode.seen.Add(seq)
 			sys.push(srcNode, seq, size)
@@ -171,7 +171,7 @@ func (sys *GossipSystem) push(n *gossipNode, seq uint64, size int) {
 
 func (sys *GossipSystem) onData(id, from int, seq uint64, size int) {
 	n := sys.nodes.At(id)
-	now := sys.eng.Now()
+	now := n.ep.Scheduler().Now()
 	sys.col.Add(now, id, metrics.Raw, size)
 	if n.seen.Add(seq) {
 		sys.col.Add(now, id, metrics.Useful, size)
@@ -243,7 +243,7 @@ func (sys *GossipSystem) Join(id int) error {
 		ep:   transport.NewEndpoint(sys.net, id),
 		id:   id,
 		seen: workset.New(),
-		rng:  sys.eng.RNG(int64(id)*31337 + 0x676f73),
+		rng:  sys.net.Engine().RNG(int64(id)*31337 + 0x676f73),
 	}
 	sys.col.Track(id)
 	n.ep.OnData(func(from int, seq uint64, size int) { sys.onData(id, from, seq, size) })
@@ -316,7 +316,6 @@ type AntiEntropySystem struct {
 	tree         *overlay.Tree
 	cfg          AntiEntropyConfig
 	col          *metrics.Collector
-	eng          *sim.Engine
 	src          workload.Source
 
 	nodes nodeset.Table[*aeNode]
@@ -353,7 +352,6 @@ func DeployAntiEntropy(net *netem.Network, tree *overlay.Tree, cfg AntiEntropyCo
 		tree:         tree,
 		cfg:          cfg,
 		col:          col,
-		eng:          net.Engine(),
 		net:          net,
 		src:          workload.Default(cfg.Workload, cfg.RateKbps, cfg.PacketSize),
 	}
@@ -386,19 +384,22 @@ func DeployAntiEntropy(net *netem.Network, tree *overlay.Tree, cfg AntiEntropyCo
 		n.ep.OnData(func(from int, seq uint64, size int) { sys.onData(id, from, seq, size) })
 		n.ep.OnControl(func(from int, payload any, size int) { sys.onControl(id, from, payload) })
 		sys.nodes.Put(id, n)
-		// Anti-entropy rounds, de-phased per node.
+		// Anti-entropy rounds, de-phased per node, on the node's own
+		// scheduler.
 		n.roundFn = func() { sys.aeRound(id) }
 		jitter := sim.Duration(n.rng.Int63n(int64(cfg.Epoch)))
-		sys.eng.Schedule(cfg.Epoch+jitter, n.roundFn)
+		n.ep.Scheduler().Schedule(cfg.Epoch+jitter, n.roundFn)
 	}
 	if sys.joinDegree = tree.MaxDegree(); sys.joinDegree < 2 {
 		sys.joinDegree = 2
 	}
-	// Source pump: packet generation is owned by the workload layer.
+	// Source pump: packet generation is owned by the workload layer,
+	// scheduled on the root node's own scheduler.
 	end := cfg.Start + cfg.Duration
 	root := sys.nodes.At(tree.Root)
-	workload.Pump(sys.eng, sys.src, cfg.Start,
-		func() bool { return sys.eng.Now() >= end || sys.stopped },
+	sched := root.ep.Scheduler()
+	workload.Pump(sched, sys.src, cfg.Start,
+		func() bool { return sched.Now() >= end || sys.stopped },
 		func(seq uint64, size int) {
 			root.seen.Add(seq)
 			sys.forward(root, seq, size)
@@ -421,7 +422,7 @@ func (sys *AntiEntropySystem) Workload() workload.Source { return sys.src }
 
 func (sys *AntiEntropySystem) onData(id, from int, seq uint64, size int) {
 	n := sys.nodes.At(id)
-	now := sys.eng.Now()
+	now := n.ep.Scheduler().Now()
 	sys.col.Add(now, id, metrics.Raw, size)
 	if from == n.parent {
 		sys.col.Add(now, id, metrics.Parent, size)
@@ -460,7 +461,7 @@ func (sys *AntiEntropySystem) aeRound(id int) {
 		}
 		n.ep.SendControl(peer, &aeDigestMsg{filter: filter, low: n.seen.Low(), high: n.seen.High()}, filter.SizeBytes()+24)
 	}
-	sys.eng.ScheduleAfter(sys.cfg.Epoch, n.roundFn)
+	n.ep.Scheduler().ScheduleAfter(sys.cfg.Epoch, n.roundFn)
 }
 
 // onControl answers digests with missing packets (last-in-first-out,
@@ -572,7 +573,7 @@ func (sys *AntiEntropySystem) Restart(id int) error {
 	// resume on its own.
 	if n.roundDead {
 		n.roundDead = false
-		sys.eng.ScheduleAfter(sys.cfg.Epoch, n.roundFn)
+		n.ep.Scheduler().ScheduleAfter(sys.cfg.Epoch, n.roundFn)
 	}
 	return nil
 }
@@ -604,7 +605,7 @@ func (sys *AntiEntropySystem) Join(id int) error {
 		id:     id,
 		parent: ap,
 		seen:   workset.New(),
-		rng:    sys.eng.RNG(int64(id)*271828 + 0x6165),
+		rng:    sys.net.Engine().RNG(int64(id)*271828 + 0x6165),
 	}
 	sys.col.Track(id)
 	n.ep.OnData(func(from int, seq uint64, size int) { sys.onData(id, from, seq, size) })
@@ -614,7 +615,7 @@ func (sys *AntiEntropySystem) Join(id int) error {
 	sys.participants = append(sys.participants, id)
 	n.roundFn = func() { sys.aeRound(id) }
 	jitter := sim.Duration(n.rng.Int63n(int64(sys.cfg.Epoch)))
-	sys.eng.ScheduleAfter(sys.cfg.Epoch+jitter, n.roundFn)
+	n.ep.Scheduler().ScheduleAfter(sys.cfg.Epoch+jitter, n.roundFn)
 	// Wire the parent's stream flow to the newcomer.
 	pn := sys.nodes.At(ap)
 	pn.children = sys.tree.Children(ap)

@@ -79,7 +79,7 @@ func churnCompare(name string, sc Scale, seed int64,
 		sched, victims := buildSched(w.g, tree)
 		orphans := orphanedBy(tree, victims)
 		sched.Install(&scenario.Env{Eng: w.eng, G: w.g, M: sys})
-		w.eng.Run(sc.RunUntil)
+		w.run(sc.RunUntil)
 
 		live := sys.LiveNodes()
 		r.addSeries(v.label+"_useful", col.Series(metrics.Useful))

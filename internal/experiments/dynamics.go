@@ -85,7 +85,7 @@ func dynCompare(name string, sc Scale, seed int64,
 			return nil, err
 		}
 		build(w.g, tree).Install(&scenario.Env{Eng: w.eng, G: w.g})
-		w.eng.Run(sc.RunUntil)
+		w.run(sc.RunUntil)
 
 		r.addSeries(v.label+"_useful", col.Series(metrics.Useful))
 		pre := col.MeanOver(t1-20*sim.Second, t1, metrics.Useful)

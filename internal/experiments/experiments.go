@@ -32,6 +32,13 @@ type Scale struct {
 	Duration   sim.Duration // how long the source streams
 	RunUntil   sim.Time     // total virtual run time
 	TreeDegree int          // random tree degree bound
+
+	// Shards is the number of parallel simulation shards the emulator
+	// runs the experiment on (netem.Network.EnableShards). 0 or 1 means
+	// serial execution. Any value yields byte-identical results; >1
+	// trades goroutine/barrier overhead for wall-clock speedup on
+	// multi-core hosts.
+	Shards int
 }
 
 // The four standard scales.
@@ -194,8 +201,18 @@ func newWorld(sc Scale, bw topology.BandwidthProfile, loss topology.LossProfile,
 	}
 	eng := sim.NewEngine(seed)
 	rt := topology.NewRouter(g)
-	return &world{eng: eng, net: netem.New(eng, g, rt, netem.Config{}), g: g, rt: rt, seed: seed}, nil
+	net := netem.New(eng, g, rt, netem.Config{})
+	if sc.Shards > 1 {
+		net.EnableShards(sc.Shards)
+	}
+	return &world{eng: eng, net: net, g: g, rt: rt, seed: seed}, nil
 }
+
+// run executes the world's event loop to the given virtual time,
+// through the emulator so sharded worlds run their parallel loop.
+// All experiment runners must use this instead of w.eng.Run: driving
+// the engine directly would strand events on shard heaps.
+func (w *world) run(until sim.Time) { w.net.Run(until) }
 
 func (w *world) randomTree(sc Scale) (*overlay.Tree, error) {
 	return overlay.Random(w.g.Clients, w.g.Clients[0], sc.TreeDegree, rand.New(rand.NewSource(w.seed^0x74726565)))

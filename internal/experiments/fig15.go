@@ -89,7 +89,11 @@ func Fig15(sc Scale, seed int64) (*Result, error) {
 		}
 		eng := sim.NewEngine(seed)
 		rt := topology.NewRouter(g)
-		w := &world{eng: eng, net: netem.New(eng, g, rt, netem.Config{}), g: g, rt: rt, seed: seed}
+		net := netem.New(eng, g, rt, netem.Config{})
+		if sc.Shards > 1 {
+			net.EnableShards(sc.Shards)
+		}
+		w := &world{eng: eng, net: net, g: g, rt: rt, seed: seed}
 		return w, g, root, nil
 	}
 
@@ -132,7 +136,7 @@ func Fig15(sc Scale, seed int64) (*Result, error) {
 		if err := d.run(w, g, root, col); err != nil {
 			return nil, err
 		}
-		w.eng.Run(sc.RunUntil)
+		w.run(sc.RunUntil)
 		r.addSeries(d.label, col.Series(metrics.Useful))
 	}
 
@@ -146,7 +150,7 @@ func Fig15(sc Scale, seed int64) (*Result, error) {
 	if err := deployBullet(w, g, root, col); err != nil {
 		return nil, err
 	}
-	w.eng.Run(sc.RunUntil)
+	w.run(sc.RunUntil)
 	tail := sc.Start + sim.Duration(0.5*float64(sc.Duration))
 	r.Summary["bullet_unconstrained_kbps"] = col.MeanOver(tail, sc.RunUntil, metrics.Useful)
 	return r, nil

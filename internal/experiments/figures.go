@@ -65,7 +65,7 @@ func Fig06(sc Scale, seed int64) (*Result, error) {
 		}, col); err != nil {
 			return nil, err
 		}
-		w.eng.Run(sc.RunUntil)
+		w.run(sc.RunUntil)
 		r.addSeries(v.label, col.Series(metrics.Useful))
 	}
 	return r, nil
@@ -91,7 +91,7 @@ func fig7Run(sc Scale, seed int64, mutate func(*core.Config)) (*world, *core.Sys
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	w.eng.Run(sc.RunUntil)
+	w.run(sc.RunUntil)
 	return w, sys, col, nil
 }
 
@@ -160,7 +160,7 @@ func bulletVsTree(sc Scale, seed int64, loss topology.LossProfile, name string) 
 		if _, err := core.Deploy(w.net, tree, bulletConfig(sc, defaultRateKbps), col); err != nil {
 			return nil, err
 		}
-		w.eng.Run(sc.RunUntil)
+		w.run(sc.RunUntil)
 		r.addSeries("bullet_"+bw.Name, col.Series(metrics.Useful))
 
 		// TFRC streaming over the offline bottleneck tree.
@@ -178,7 +178,7 @@ func bulletVsTree(sc Scale, seed int64, loss topology.LossProfile, name string) 
 		}, col2); err != nil {
 			return nil, err
 		}
-		w2.eng.Run(sc.RunUntil)
+		w2.run(sc.RunUntil)
 		r.addSeries("bottleneck_tree_"+bw.Name, col2.Series(metrics.Useful))
 	}
 	return r, nil
@@ -230,7 +230,7 @@ func Fig11(sc Scale, seed int64) (*Result, error) {
 	if _, err := core.Deploy(w.net, tree, bulletConfig(fsc, rate), col); err != nil {
 		return nil, err
 	}
-	w.eng.Run(fsc.RunUntil)
+	w.run(fsc.RunUntil)
 	r.addSeries("bullet_raw", col.Series(metrics.Raw))
 	r.addSeries("bullet_useful", col.Series(metrics.Useful))
 
@@ -245,7 +245,7 @@ func Fig11(sc Scale, seed int64) (*Result, error) {
 	}, col2); err != nil {
 		return nil, err
 	}
-	w2.eng.Run(fsc.RunUntil)
+	w2.run(fsc.RunUntil)
 	r.addSeries("gossip_raw", col2.Series(metrics.Raw))
 	r.addSeries("gossip_useful", col2.Series(metrics.Useful))
 
@@ -265,7 +265,7 @@ func Fig11(sc Scale, seed int64) (*Result, error) {
 	}, col3); err != nil {
 		return nil, err
 	}
-	w3.eng.Run(fsc.RunUntil)
+	w3.run(fsc.RunUntil)
 	r.addSeries("antientropy_raw", col3.Series(metrics.Raw))
 	r.addSeries("antientropy_useful", col3.Series(metrics.Useful))
 	return r, nil
@@ -296,7 +296,7 @@ func failureRun(sc Scale, seed int64, detection bool) (*Result, error) {
 	if victim >= 0 {
 		w.eng.At(failAt, func() { sys.Fail(victim) })
 	}
-	w.eng.Run(sc.RunUntil)
+	w.run(sc.RunUntil)
 	name := "Figure 13: worst-case failure, no RanSub recovery"
 	if detection {
 		name = "Figure 14: worst-case failure, RanSub recovery enabled"

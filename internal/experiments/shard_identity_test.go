@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"bullet/internal/sim"
+)
+
+// identityScale is Small with a shortened stream so the full
+// experiment × shard-count matrix stays tractable: identity does not
+// need steady state, only enough virtual time to exercise cross-shard
+// traffic, scenario mutations, and churn.
+func identityScale() Scale {
+	sc := Small
+	sc.Start = 10 * sim.Second
+	sc.Duration = 40 * sim.Second
+	sc.RunUntil = 60 * sim.Second
+	return sc
+}
+
+// renderTSV runs one experiment and renders its full TSV output — the
+// series tables, CDFs and summaries the CLI prints — which is the
+// byte-identity surface the sharded engine must preserve.
+func renderTSV(t *testing.T, id string, sc Scale, seed int64) string {
+	t.Helper()
+	r, err := Registry[id](sc, seed)
+	if err != nil {
+		t.Fatalf("%s at %d shard(s): %v", id, sc.Shards, err)
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	return buf.String()
+}
+
+// TestShardIdentityMatrix is the tentpole guarantee as a table: every
+// registered experiment, run at 1, 2 and 8 shards, produces TSV output
+// byte-identical to the serial (unsharded) run. Any divergence —
+// event ordering, RNG draws, float accumulation order — shows up as a
+// diff here.
+func TestShardIdentityMatrix(t *testing.T) {
+	ids := Names()
+	if testing.Short() {
+		// A cross-section in -short: plain figure, epidemic baselines,
+		// link dynamics, and membership churn.
+		ids = []string{"fig7", "fig13", "dyn-partition", "churn-crashheal"}
+	}
+	const seed = 11
+	for _, id := range ids {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			serial := renderTSV(t, id, identityScale(), seed)
+			if serial == "" {
+				t.Fatal("serial run produced no output")
+			}
+			for _, k := range []int{1, 2, 8} {
+				sc := identityScale()
+				sc.Shards = k
+				if got := renderTSV(t, id, sc, seed); got != serial {
+					t.Errorf("shards=%d: output differs from serial run", k)
+				}
+			}
+		})
+	}
+}

@@ -72,7 +72,7 @@ func workloadCompare(sc Scale, seed int64, mkSource func() workload.Source,
 		if err := v.deploy(w, mkSource(), col); err != nil {
 			return err
 		}
-		w.eng.Run(sc.RunUntil)
+		w.run(sc.RunUntil)
 		report(v.label, w, col)
 	}
 	return nil

@@ -57,10 +57,15 @@ type nodeSeries struct {
 // per-packet Add path is an O(1) slice index and every aggregate walks
 // nodes in ascending id order (the deterministic float-aggregation
 // order the TSV goldens pin).
+// In a sharded run a collector is written concurrently by all shards:
+// Add only ever touches the per-node series of the executing shard's
+// own nodes (pre-registered via Track at deploy, so the table never
+// grows mid-run), and there is deliberately no cross-node mutable
+// aggregate on the Add path — maxima and sums are computed on demand
+// at read time, which happens only between runs or at barriers.
 type Collector struct {
 	bucket sim.Duration
 	nodes  nodeset.Table[*nodeSeries]
-	maxIdx int
 
 	// target is the distinct-packet count at which a node completes a
 	// finite workload (0 = streaming, no completion semantics).
@@ -152,9 +157,6 @@ func (c *Collector) Add(now sim.Time, node int, k Kind, size int) {
 		}
 	}
 	idx := int(now / c.bucket)
-	if idx > c.maxIdx {
-		c.maxIdx = idx
-	}
 	s := ns.buckets[k]
 	for len(s) <= idx {
 		s = append(s, 0)
@@ -170,6 +172,22 @@ type Point struct {
 	Std  float64 // standard deviation across nodes
 }
 
+// maxIdx returns the highest populated bucket index across all nodes
+// and kinds (-1 when nothing was recorded). Computed on demand so the
+// per-packet Add path carries no cross-node shared write.
+func (c *Collector) maxIdx() int {
+	max := -1
+	c.nodes.Range(func(_ int, ns *nodeSeries) bool {
+		for k := Kind(0); k < numKinds; k++ {
+			if n := len(ns.buckets[k]); n-1 > max {
+				max = n - 1
+			}
+		}
+		return true
+	})
+	return max
+}
+
 // Series returns the across-node mean (and standard deviation) of
 // per-node bandwidth of the given kind for every bucket, in Kbps —
 // the series plotted in Figures 6, 7 and 9-15.
@@ -178,9 +196,10 @@ func (c *Collector) Series(k Kind) []Point {
 	if n == 0 {
 		return nil
 	}
+	maxIdx := c.maxIdx()
 	bucketSec := c.bucket.ToSeconds()
-	out := make([]Point, c.maxIdx+1)
-	for i := 0; i <= c.maxIdx; i++ {
+	out := make([]Point, maxIdx+1)
+	for i := 0; i <= maxIdx; i++ {
 		var sum, sumsq float64
 		c.nodes.Range(func(_ int, ns *nodeSeries) bool {
 			var v float64
@@ -207,9 +226,10 @@ func (c *Collector) NodeSeries(node int, k Kind) []Point {
 	if ns == nil {
 		return nil
 	}
+	maxIdx := c.maxIdx()
 	bucketSec := c.bucket.ToSeconds()
-	out := make([]Point, c.maxIdx+1)
-	for i := 0; i <= c.maxIdx; i++ {
+	out := make([]Point, maxIdx+1)
+	for i := 0; i <= maxIdx; i++ {
 		var v float64
 		if i < len(ns.buckets[k]) {
 			v = float64(ns.buckets[k][i]) * 8 / 1000 / bucketSec
@@ -287,8 +307,8 @@ func (c *Collector) MeanOverNodes(nodes []int, from, to sim.Time, k Kind) float6
 // bucketRange clips [from, to) to populated buckets.
 func (c *Collector) bucketRange(from, to sim.Time) (lo, hi int, ok bool) {
 	lo, hi = int(from/c.bucket), int(to/c.bucket)
-	if hi > c.maxIdx+1 {
-		hi = c.maxIdx + 1
+	if m := c.maxIdx(); hi > m+1 {
+		hi = m + 1
 	}
 	return lo, hi, hi > lo
 }

@@ -18,8 +18,6 @@
 package netem
 
 import (
-	"math/rand"
-
 	"bullet/internal/sim"
 	"bullet/internal/topology"
 )
@@ -75,6 +73,15 @@ type dirState struct {
 	drops     uint64 // congestion drops
 	lossDrops uint64 // random loss drops
 	packets   uint64
+	// draws counts the random numbers consumed by this link direction
+	// (RED early drop, random loss). Each draw is a pure function of
+	// (seed, direction, draw index), so the loss pattern a direction
+	// observes depends only on its own traversal history — never on how
+	// traffic elsewhere interleaves. That independence is what lets a
+	// sharded run reproduce the serial loss sequence exactly: a
+	// direction's traversals happen in the same relative order on its
+	// owning shard as they do serially.
+	draws uint64
 }
 
 // inflight is the pooled per-packet forwarding state. The routed path
@@ -93,23 +100,20 @@ type inflight struct {
 	epoch uint64  // route epoch path was resolved at
 }
 
-// Network emulates the physical topology for registered participants.
-type Network struct {
-	eng      *sim.Engine
-	g        *topology.Graph
-	rt       *topology.Router
-	cfg      Config
-	dirs     []dirState // 2*linkID + direction
-	handlers []Handler  // indexed by node id
-	rng      *rand.Rand
+// shardCtx is the mutable per-shard forwarding state. In a serial run
+// there is exactly one; in a sharded run shard i's context is written
+// only by shard i's goroutine during parallel windows (hop events for
+// a packet currently at node v run on v's shard) and by the
+// single-threaded barrier phase otherwise, so none of it needs locks.
+// Aggregate accounting is summed across contexts at read time.
+type shardCtx struct {
+	pool []*inflight
+	// out holds cross-shard handoffs produced during the current
+	// window, indexed by destination shard; drained (sorted) at the
+	// barrier. nil in serial runs.
+	out [][]handoff
 
-	// hopFn is the single reusable callback for hop events; paired with
-	// the inflight free list it makes steady-state forwarding
-	// allocation-free (one event per hop, zero heap allocations).
-	hopFn func(any)
-	pool  []*inflight
-
-	// Aggregate accounting.
+	// Per-shard slice of the aggregate accounting.
 	dataBytesSent    uint64
 	dataBytesDeliv   uint64
 	controlBytes     uint64
@@ -123,6 +127,46 @@ type Network struct {
 	// lazily on the first traced packet, so runs that never set
 	// Packet.Trace (TraceEvery off) pay nothing for the machinery.
 	traceStress map[uint64]map[int32]int
+
+	_ [64]byte // keep neighbouring shards' hot counters off one cache line
+}
+
+// handoff is one cross-shard packet transfer: the hop event to push
+// into the destination shard's heap at the barrier. schedAt (the
+// virtual time the producing hop ran) recovers the serial scheduling
+// order of same-instant arrivals from different shards.
+type handoff struct {
+	at      sim.Time
+	schedAt sim.Time
+	f       *inflight
+}
+
+// Network emulates the physical topology for registered participants.
+type Network struct {
+	eng      *sim.Engine
+	g        *topology.Graph
+	rt       *topology.Router
+	cfg      Config
+	dirs     []dirState // 2*linkID + direction
+	handlers []Handler  // indexed by node id
+	lossSeed uint64     // keys the per-direction draw streams
+
+	// hopFn is the single reusable callback for hop events; paired with
+	// the inflight free lists it makes steady-state forwarding
+	// allocation-free (one event per hop, zero heap allocations).
+	hopFn func(any)
+
+	ctxs []shardCtx // len 1 serial; one per shard when sharded
+
+	// Sharded execution state (nil/zero in serial runs): the
+	// deterministic topology partition, one event heap per shard, and
+	// the flag marking that shard goroutines are currently running (so
+	// cross-shard scheduling must go through outboxes instead of
+	// directly into the target heap).
+	plan     *topology.ShardPlan
+	engines  []*sim.Engine
+	parallel bool
+	xbuf     []xferEntry // barrier scratch, reused across rounds
 }
 
 // New creates an emulator over graph g routed by rt, scheduling on eng.
@@ -137,30 +181,79 @@ func New(eng *sim.Engine, g *topology.Graph, rt *topology.Router, cfg Config) *N
 		cfg:      cfg,
 		dirs:     make([]dirState, 2*len(g.Links)),
 		handlers: make([]Handler, len(g.Nodes)),
-		rng:      eng.RNG(0x6e65746d),
+		lossSeed: mix64(uint64(eng.Seed()) ^ 0x6e65746d),
+		ctxs:     make([]shardCtx, 1),
 	}
 	n.hopFn = func(a any) { n.hop(a.(*inflight)) }
 	return n
 }
 
-// getInflight takes a forwarding state from the free list.
-func (n *Network) getInflight() *inflight {
-	if k := len(n.pool); k > 0 {
-		f := n.pool[k-1]
-		n.pool = n.pool[:k-1]
+// mix64 is the splitmix64 finalizer.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// dirFloat returns the next uniform [0,1) draw for link direction
+// dirIdx: a counted, hash-derived stream per direction, independent of
+// every other direction and of global event interleaving.
+func (n *Network) dirFloat(dirIdx int, ds *dirState) float64 {
+	ds.draws++
+	z := mix64(n.lossSeed + uint64(dirIdx)*0x9E3779B97F4A7C15 + ds.draws*0xBF58476D1CE4E5B9)
+	return float64(z>>11) * (1.0 / (1 << 53))
+}
+
+// shardIdx returns the shard owning node (0 in serial runs).
+func (n *Network) shardIdx(node int) int {
+	if n.plan == nil {
+		return 0
+	}
+	return n.plan.ShardOf[node]
+}
+
+// engineFor returns the event heap executing node's events.
+func (n *Network) engineFor(shard int) *sim.Engine {
+	if n.engines == nil {
+		return n.eng
+	}
+	return n.engines[shard]
+}
+
+// getInflight takes a forwarding state from the shard's free list.
+func (c *shardCtx) getInflight() *inflight {
+	if k := len(c.pool); k > 0 {
+		f := c.pool[k-1]
+		c.pool = c.pool[:k-1]
 		return f
 	}
 	return &inflight{}
 }
 
-// putInflight returns f to the free list, dropping payload references.
-func (n *Network) putInflight(f *inflight) {
+// putInflight returns f to the shard's free list, dropping payload
+// references. A handed-off inflight retires into the pool of the shard
+// it was delivered on, not the one that allocated it; pools only ever
+// grow, so drifting between shards is harmless.
+func (c *shardCtx) putInflight(f *inflight) {
 	*f = inflight{}
-	n.pool = append(n.pool, f)
+	c.pool = append(c.pool, f)
 }
 
-// Engine returns the simulation engine.
+// Engine returns the global simulation engine: the clock authority for
+// deploy-time setup, scenario schedules, and membership events. Code
+// running inside a node's events must use SchedulerFor(node) instead.
 func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// SchedulerFor returns the scheduler that executes node's events: the
+// node's shard engine in a sharded run, the global engine otherwise.
+// Endpoints capture it at construction; all node-local timers and
+// clock reads go through it.
+func (n *Network) SchedulerFor(node int) sim.Scheduler {
+	return n.engineFor(n.shardIdx(node))
+}
 
 // Router returns the route oracle.
 func (n *Network) Router() *topology.Router { return n.rt }
@@ -176,22 +269,26 @@ func (n *Network) Register(node int, h Handler) { n.handlers[node] = h }
 // are silently discarded on arrival.
 func (n *Network) Unregister(node int) { n.handlers[node] = nil }
 
-// Send injects a packet at pkt.From at the current virtual time. The
-// packet traverses the fixed shortest path to pkt.To; it may be dropped
-// on the way. The path is resolved once here (from the router's
-// memoized flat tables) and carried with the packet.
+// Send injects a packet at pkt.From at the current virtual time of
+// From's shard. The packet traverses the fixed shortest path to pkt.To;
+// it may be dropped on the way. The path is resolved once here (from
+// the router's memoized flat tables) and carried with the packet. Send
+// must be called from From's shard (an endpoint sending on behalf of
+// its node, or the single-threaded barrier phase).
 func (n *Network) Send(pkt Packet) {
-	pkt.SentAt = n.eng.Now()
+	sh := n.shardIdx(pkt.From)
+	c := &n.ctxs[sh]
+	pkt.SentAt = n.engineFor(sh).Now()
 	if pkt.Kind == Control {
-		n.controlBytes += uint64(pkt.Size)
+		c.controlBytes += uint64(pkt.Size)
 	} else {
-		n.dataBytesSent += uint64(pkt.Size)
+		c.dataBytesSent += uint64(pkt.Size)
 	}
 	path := n.rt.Path(pkt.From, pkt.To)
 	if path == nil && pkt.From != pkt.To {
 		return // unreachable: dropped
 	}
-	f := n.getInflight()
+	f := c.getInflight()
 	f.pkt = pkt
 	f.path = path
 	f.i = 0
@@ -210,20 +307,22 @@ func (n *Network) Send(pkt Packet) {
 // packet whose destination became unreachable is dropped. On a static
 // network the epoch comparison never fires.
 func (n *Network) hop(f *inflight) {
+	sh := n.shardIdx(f.cur)
+	c := &n.ctxs[sh]
 	if e := n.g.Epoch(); f.epoch != e {
 		f.epoch = e
 		f.path = n.rt.Path(f.cur, f.pkt.To)
 		f.i = 0
-		n.rerouted++
+		c.rerouted++
 		if f.path == nil && f.cur != f.pkt.To {
-			n.linkDownDrops++
-			n.putInflight(f)
+			c.linkDownDrops++
+			c.putInflight(f)
 			return
 		}
 	}
 	if f.i == len(f.path) {
-		n.deliver(f.pkt)
-		n.putInflight(f)
+		n.deliver(c, f.pkt)
+		c.putInflight(f)
 		return
 	}
 	lid := f.path[f.i]
@@ -234,8 +333,8 @@ func (n *Network) hop(f *inflight) {
 		// keeps current-epoch paths free of down links. This fires only
 		// if Link state was mutated directly (Links is exported) without
 		// going through the Graph mutators; dropping is the safe answer.
-		n.linkDownDrops++
-		n.putInflight(f)
+		c.linkDownDrops++
+		c.putInflight(f)
 		return
 	}
 	dir := 0
@@ -244,9 +343,10 @@ func (n *Network) hop(f *inflight) {
 		dir = 1
 		next = l.A
 	}
-	ds := &n.dirs[2*int(lid)+dir]
+	dirIdx := 2*int(lid) + dir
+	ds := &n.dirs[dirIdx]
 
-	now := n.eng.Now()
+	now := n.engineFor(sh).Now()
 	start := now
 	if ds.busyUntil > start {
 		start = ds.busyUntil
@@ -261,19 +361,19 @@ func (n *Network) hop(f *inflight) {
 		limit := n.cfg.QueueDelayLimit
 		if wait > limit/2 {
 			p := float64(wait-limit/2) / float64(limit-limit/2)
-			if p >= 1 || n.rng.Float64() < p {
+			if p >= 1 || n.dirFloat(dirIdx, ds) < p {
 				ds.drops++
-				n.congestionDrops++
-				n.putInflight(f)
+				c.congestionDrops++
+				c.putInflight(f)
 				return
 			}
 		}
 	}
 	// Random loss is applied per traversal, before transmission.
-	if f.pkt.Kind == Data && l.Loss > 0 && n.rng.Float64() < l.Loss {
+	if f.pkt.Kind == Data && l.Loss > 0 && n.dirFloat(dirIdx, ds) < l.Loss {
 		ds.lossDrops++
-		n.randomLossDrops++
-		n.putInflight(f)
+		c.randomLossDrops++
+		c.putInflight(f)
 		return
 	}
 	ser := sim.Duration(float64(f.pkt.Size) / l.Bytes * float64(sim.Second))
@@ -281,31 +381,39 @@ func (n *Network) hop(f *inflight) {
 	ds.bytes += uint64(f.pkt.Size)
 	ds.packets++
 	if f.pkt.Trace {
-		if n.traceStress == nil {
-			n.traceStress = make(map[uint64]map[int32]int)
+		if c.traceStress == nil {
+			c.traceStress = make(map[uint64]map[int32]int)
 		}
-		m := n.traceStress[f.pkt.Seq]
+		m := c.traceStress[f.pkt.Seq]
 		if m == nil {
 			m = make(map[int32]int)
-			n.traceStress[f.pkt.Seq] = m
+			c.traceStress[f.pkt.Seq] = m
 		}
 		m[lid]++
 	}
 	arrive := ds.busyUntil + l.Delay
 	f.i++
 	f.cur = next
-	n.eng.ScheduleArg(arrive, n.hopFn, f)
+	tgt := n.shardIdx(next)
+	if n.parallel && tgt != sh {
+		// Cross-shard: the link is on the cut, so arrive lies at or
+		// beyond the window boundary; park the packet for the barrier
+		// exchange instead of touching the other shard's heap.
+		c.out[tgt] = append(c.out[tgt], handoff{at: arrive, schedAt: now, f: f})
+		return
+	}
+	n.engineFor(tgt).ScheduleArg(arrive, n.hopFn, f)
 }
 
-func (n *Network) deliver(pkt Packet) {
+func (n *Network) deliver(c *shardCtx, pkt Packet) {
 	h := n.handlers[pkt.To]
 	if h == nil {
 		return
 	}
 	if pkt.Kind == Data {
-		n.dataBytesDeliv += uint64(pkt.Size)
+		c.dataBytesDeliv += uint64(pkt.Size)
 	}
-	n.deliveredPackets++
+	c.deliveredPackets++
 	h(pkt)
 }
 
@@ -326,18 +434,22 @@ type Stats struct {
 	DeliveredPackets uint64
 }
 
-// Stats returns a snapshot of aggregate counters.
+// Stats returns a snapshot of aggregate counters, summed across the
+// per-shard contexts.
 func (n *Network) Stats() Stats {
-	return Stats{
-		DataBytesSent:      n.dataBytesSent,
-		DataBytesDelivered: n.dataBytesDeliv,
-		ControlBytes:       n.controlBytes,
-		CongestionDrops:    n.congestionDrops,
-		RandomLossDrops:    n.randomLossDrops,
-		LinkDownDrops:      n.linkDownDrops,
-		ReroutedPackets:    n.rerouted,
-		DeliveredPackets:   n.deliveredPackets,
+	var s Stats
+	for i := range n.ctxs {
+		c := &n.ctxs[i]
+		s.DataBytesSent += c.dataBytesSent
+		s.DataBytesDelivered += c.dataBytesDeliv
+		s.ControlBytes += c.controlBytes
+		s.CongestionDrops += c.congestionDrops
+		s.RandomLossDrops += c.randomLossDrops
+		s.LinkDownDrops += c.linkDownDrops
+		s.ReroutedPackets += c.rerouted
+		s.DeliveredPackets += c.deliveredPackets
 	}
+	return s
 }
 
 // LinkStress summarizes link-stress accounting over traced packets, in
@@ -346,7 +458,23 @@ func (n *Network) Stats() Stats {
 // across all (packet, link) pairs and Max is the absolute maximum.
 func (n *Network) LinkStress() (avg float64, max int) {
 	var sum, cnt int
-	for _, links := range n.traceStress {
+	// A traced packet's copies can cross links owned by different
+	// shards, so the (seq, link) counts are merged across contexts
+	// before aggregating.
+	merged := make(map[uint64]map[int32]int)
+	for i := range n.ctxs {
+		for seq, links := range n.ctxs[i].traceStress {
+			m := merged[seq]
+			if m == nil {
+				m = make(map[int32]int, len(links))
+				merged[seq] = m
+			}
+			for lid, c := range links {
+				m[lid] += c
+			}
+		}
+	}
+	for _, links := range merged {
 		for _, c := range links {
 			sum += c
 			cnt++

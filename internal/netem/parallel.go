@@ -1,0 +1,229 @@
+package netem
+
+import (
+	"sort"
+	"sync"
+
+	"bullet/internal/sim"
+	"bullet/internal/topology"
+)
+
+// This file holds the sharded execution mode: conservative parallel
+// discrete-event simulation over a deterministic partition of the
+// topology (topology.PartitionShards). Each shard owns one event heap
+// and runs windows of length L — the minimum propagation delay over the
+// links crossing the cut — in its own goroutine. A packet can only
+// reach another shard by traversing a cut link, so its arrival lies at
+// or beyond the window boundary; handoffs are exchanged at the barrier
+// in a deterministically sorted order, which makes the event schedule —
+// and therefore every trace and metric — byte-identical to the serial
+// run at any shard count.
+
+// xferEntry pairs a handoff with its source shard for the barrier sort.
+type xferEntry struct {
+	h   handoff
+	src int
+}
+
+// EnableShards partitions the topology into at most k shards and
+// switches Run to the sharded engine. It returns the effective shard
+// count, which may be lower than requested (and is 1 — serial — when
+// k <= 1 or the topology yields a single atom). It must be called
+// before any participant registers or schedules work: per-node
+// schedulers are handed out based on the partition.
+//
+// Every shard engine is constructed with the global engine's seed, so
+// sim.Scheduler.RNG streams are identical regardless of which engine
+// serves them, and the per-link-direction loss streams (keyed off the
+// same seed) are untouched: sharding never perturbs a single draw.
+func (n *Network) EnableShards(k int) int {
+	if k <= 1 {
+		return 1
+	}
+	plan := topology.PartitionShards(n.g, k)
+	if plan.K <= 1 {
+		return 1
+	}
+	n.plan = &plan
+	n.engines = make([]*sim.Engine, plan.K)
+	n.ctxs = make([]shardCtx, plan.K)
+	for i := range n.engines {
+		n.engines[i] = sim.NewEngine(n.eng.Seed())
+		n.ctxs[i].out = make([][]handoff, plan.K)
+	}
+	return plan.K
+}
+
+// Shards returns the effective shard count (1 for serial runs).
+func (n *Network) Shards() int {
+	if n.plan == nil {
+		return 1
+	}
+	return n.plan.K
+}
+
+// ShardOf returns the shard index executing node's events (0 for
+// serial runs).
+func (n *Network) ShardOf(node int) int { return n.shardIdx(node) }
+
+// Run executes the simulation up to and including virtual time until:
+// serially on the global engine, or across the shard engines when
+// EnableShards is active. All engine clocks end at until.
+func (n *Network) Run(until sim.Time) sim.Time {
+	if n.plan == nil {
+		return n.eng.Run(until)
+	}
+	n.runSharded(until)
+	return until
+}
+
+// nextEventAt returns the earliest pending event time across the
+// global engine and every shard engine.
+func (n *Network) nextEventAt() (sim.Time, bool) {
+	min, ok := n.eng.NextAt()
+	for _, e := range n.engines {
+		if t, o := e.NextAt(); o && (!ok || t < min) {
+			min, ok = t, true
+		}
+	}
+	return min, ok
+}
+
+// runSharded is the conservative-PDES barrier loop. Each round:
+//
+//  1. all clocks are aligned to the barrier time T and the global
+//     engine runs its events at T (scenario callbacks, membership,
+//     World.At) single-threaded — these may mutate the graph, touch
+//     shared protocol state, and send packets (pushed directly into
+//     shard heaps, since no shard goroutine is running);
+//  2. the router applies any pending epoch invalidation so route
+//     caches are stable during the window, and the lookahead is
+//     recomputed if link state changed (a scenario may have shortened
+//     a cut link's delay);
+//  3. if every pending event lies beyond T, the barrier fast-forwards
+//     to the earliest one (or stops, when none remain at or before
+//     until);
+//  4. the window end is chosen: at most T + lookahead (no cross-shard
+//     influence can land earlier), capped by the next global event
+//     (which must run single-threaded at its exact time) and by
+//     until + 1 (so the final window includes events at until);
+//  5. every shard runs its heap strictly below end in parallel —
+//     shard 0 inline on this goroutine, the rest on persistent
+//     workers — with cross-shard packets parked in per-shard
+//     outboxes;
+//  6. outboxes are drained in deterministically sorted order into the
+//     destination heaps, before the next global phase so handoffs
+//     precede (get lower sequence numbers than) anything the next
+//     barrier schedules at the same instant, exactly as they would
+//     serially.
+func (n *Network) runSharded(until sim.Time) {
+	K := n.plan.K
+	var wg sync.WaitGroup
+	work := make([]chan sim.Time, K)
+	for i := 1; i < K; i++ {
+		ch := make(chan sim.Time, 1)
+		work[i] = ch
+		eng := n.engines[i]
+		go func() {
+			for end := range ch {
+				eng.RunBefore(end)
+				wg.Done()
+			}
+		}()
+	}
+	defer func() {
+		for i := 1; i < K; i++ {
+			close(work[i])
+		}
+	}()
+
+	lookahead := n.plan.LookaheadNow(n.g)
+	lastEpoch := n.g.Epoch()
+	T := n.eng.Now()
+	for {
+		for _, e := range n.engines {
+			e.AdvanceTo(T)
+		}
+		n.eng.Run(T)
+		n.rt.Sync()
+		if e := n.g.Epoch(); e != lastEpoch {
+			lastEpoch = e
+			lookahead = n.plan.LookaheadNow(n.g)
+		}
+		next, ok := n.nextEventAt()
+		if !ok || next > until {
+			break
+		}
+		if next > T {
+			T = next
+			continue
+		}
+		end := until + 1
+		if lookahead > 0 && T+lookahead < end {
+			end = T + lookahead
+		}
+		if gn, ok := n.eng.NextAt(); ok && gn < end {
+			end = gn
+		}
+		n.parallel = true
+		wg.Add(K - 1)
+		for i := 1; i < K; i++ {
+			work[i] <- end
+		}
+		n.engines[0].RunBefore(end)
+		wg.Wait()
+		n.parallel = false
+		n.exchange()
+		adv := end
+		if adv > until {
+			adv = until
+		}
+		for _, e := range n.engines {
+			e.AdvanceTo(adv)
+		}
+		if end > until {
+			break
+		}
+		T = end
+	}
+	n.eng.Run(until)
+	for _, e := range n.engines {
+		e.AdvanceTo(until)
+	}
+}
+
+// exchange drains every shard's outboxes into the destination shard
+// heaps. Handoffs bound for one shard are merged across sources and
+// sorted by (arrival time, producing-hop time, source shard) — a pure
+// function of the simulation state — so the sequence numbers they
+// receive, and hence tie-breaking against all other events, are
+// independent of goroutine timing.
+func (n *Network) exchange() {
+	K := n.plan.K
+	for dst := 0; dst < K; dst++ {
+		buf := n.xbuf[:0]
+		for src := 0; src < K; src++ {
+			box := n.ctxs[src].out[dst]
+			for _, h := range box {
+				buf = append(buf, xferEntry{h: h, src: src})
+			}
+			n.ctxs[src].out[dst] = box[:0]
+		}
+		if len(buf) > 1 {
+			sort.SliceStable(buf, func(i, j int) bool {
+				if buf[i].h.at != buf[j].h.at {
+					return buf[i].h.at < buf[j].h.at
+				}
+				if buf[i].h.schedAt != buf[j].h.schedAt {
+					return buf[i].h.schedAt < buf[j].h.schedAt
+				}
+				return buf[i].src < buf[j].src
+			})
+		}
+		eng := n.engines[dst]
+		for _, e := range buf {
+			eng.ScheduleArg(e.h.at, n.hopFn, e.h.f)
+		}
+		n.xbuf = buf[:0]
+	}
+}

@@ -216,3 +216,42 @@ func BenchmarkSetRange(b *testing.B) {
 	}
 	_ = n
 }
+
+// Probe chains that wrap around the end of the table are the boundary
+// case of open addressing: sequences whose home slot is the last index
+// collide into slot 0, and backward-shift deletion must compute chain
+// distances modulo the capacity to pull them back correctly.
+func TestSeqWindowProbeWrapAroundBoundary(t *testing.T) {
+	w := NewSeqWindow()
+	defer w.Release()
+	// Fill to just below the grow threshold with sequences that all
+	// home at the last slot (seq % 64 == 63), forcing a probe chain
+	// that wraps: 63 -> 0 -> 1 -> ...
+	seqs := []uint64{63, 127, 191, 255, 319}
+	for i, s := range seqs {
+		w.Set(s, sim.Time(i+1))
+	}
+	// Deleting the chain head leaves a hole at the boundary slot; every
+	// wrapped entry must remain reachable afterwards.
+	if !w.Delete(63) {
+		t.Fatal("chain head not present")
+	}
+	for i, s := range seqs[1:] {
+		got, ok := w.Get(s)
+		if !ok || got != sim.Time(i+2) {
+			t.Fatalf("seq %d lost after boundary deletion: (%v, %v)", s, got, ok)
+		}
+	}
+	// Delete from the middle of the wrapped chain too.
+	if !w.Delete(191) {
+		t.Fatal("mid-chain entry not present")
+	}
+	for _, s := range []uint64{127, 255, 319} {
+		if !w.Contains(s) {
+			t.Fatalf("seq %d lost after mid-chain deletion", s)
+		}
+	}
+	if w.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", w.Len())
+	}
+}

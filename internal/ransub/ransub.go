@@ -152,7 +152,7 @@ func NewAgent(ep *transport.Endpoint, cfg Config, parent int, children []int) *A
 	return &Agent{
 		ep:       ep,
 		cfg:      cfg,
-		rng:      ep.Engine().RNG(int64(ep.Node())*2654435761 + 0x52616e53),
+		rng:      ep.Scheduler().RNG(int64(ep.Node())*2654435761 + 0x52616e53),
 		parent:   parent,
 		children: kids,
 	}
@@ -338,7 +338,7 @@ func (a *Agent) beginEpoch() {
 	a.minEpochDone = false
 	a.resetWaiting()
 	a.sendDistributes(distributeMsg{epoch: a.epoch})
-	eng := a.ep.Engine()
+	eng := a.ep.Scheduler()
 	eng.ScheduleAfter(a.cfg.Epoch, func() {
 		a.minEpochDone = true
 		a.maybeAdvance()

@@ -313,9 +313,52 @@ func (e *Engine) ScheduleArg(t Time, fn func(any), arg any) {
 // Run executes events until the queue drains, the clock passes until,
 // or Stop is called. It returns the time of the last executed event.
 func (e *Engine) Run(until Time) Time {
+	e.exec(until, false)
+	if e.now < until && !e.stopped {
+		e.now = until
+	}
+	return e.now
+}
+
+// RunBefore executes events strictly before end, leaving the clock at
+// the last executed event. It is the shard-window primitive of the
+// conservative-PDES runner: a window [T, end) runs every shard's
+// events with at < end, then the barrier exchanges cross-shard
+// handoffs (all provably at >= end thanks to the lookahead bound) and
+// AdvanceTo moves every clock to end. Unlike Run, the clock is not
+// advanced past the last event — barrier-time events produced later in
+// the same round must still be schedulable at end itself.
+func (e *Engine) RunBefore(end Time) {
+	e.exec(end, true)
+}
+
+// NextAt returns the time of the earliest queued event, if any. A
+// cancelled timer still occupying the heap head counts — callers using
+// this to size an execution window may see a spuriously early bound,
+// which is harmless (the window is merely shorter than necessary).
+func (e *Engine) NextAt() (Time, bool) {
+	if len(e.heap) == 0 {
+		return 0, false
+	}
+	return e.heap[0].at, true
+}
+
+// AdvanceTo moves the clock forward to t without executing events.
+// Moving backwards is a no-op. Callers must ensure no queued event is
+// earlier than t (the sharded runner's windows guarantee this).
+func (e *Engine) AdvanceTo(t Time) {
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// exec is the shared event loop: it executes events while the head is
+// <= limit (strict=false, Run semantics) or < limit (strict=true,
+// RunBefore semantics), honoring Stop.
+func (e *Engine) exec(limit Time, strict bool) {
 	e.stopped = false
 	for len(e.heap) > 0 && !e.stopped {
-		if e.heap[0].at > until {
+		if at := e.heap[0].at; at > limit || (strict && at == limit) {
 			break
 		}
 		ev := e.pop()
@@ -351,10 +394,6 @@ func (e *Engine) Run(until Time) Time {
 			}
 		}
 	}
-	if e.now < until && !e.stopped {
-		e.now = until
-	}
-	return e.now
 }
 
 // Stop halts Run after the current event completes.

@@ -59,7 +59,6 @@ type System struct {
 	Tree *overlay.Tree
 	cfg  Config
 	col  *metrics.Collector
-	eng  *sim.Engine
 	src  workload.Source
 
 	nodes      nodeset.Table[*Node]
@@ -79,8 +78,7 @@ func Deploy(net *netem.Network, tree *overlay.Tree, cfg Config, col *metrics.Col
 	if cfg.Workload == nil && cfg.RateKbps <= 0 {
 		return nil, fmt.Errorf("streamer: rate %v Kbps", cfg.RateKbps)
 	}
-	sys := &System{Tree: tree, cfg: cfg, col: col,
-		eng: net.Engine(), net: net,
+	sys := &System{Tree: tree, cfg: cfg, col: col, net: net,
 		src: workload.Default(cfg.Workload, cfg.RateKbps, cfg.PacketSize)}
 	workload.InstallCompletion(sys.src, col)
 	for _, id := range tree.Participants {
@@ -111,10 +109,12 @@ func Deploy(net *netem.Network, tree *overlay.Tree, cfg Config, col *metrics.Col
 	if sys.joinDegree = tree.MaxDegree(); sys.joinDegree < 2 {
 		sys.joinDegree = 2
 	}
-	// Source pump: packet generation is owned by the workload layer.
+	// Source pump: packet generation is owned by the workload layer,
+	// scheduled on the root node's own scheduler.
 	end := cfg.Start + cfg.Duration
-	workload.Pump(sys.eng, sys.src, cfg.Start,
-		func() bool { return sys.eng.Now() >= end || sys.stopped },
+	sched := sys.nodes.At(tree.Root).ep.Scheduler()
+	workload.Pump(sched, sys.src, cfg.Start,
+		func() bool { return sched.Now() >= end || sys.stopped },
 		func(seq uint64, size int) {
 			root := sys.nodes.At(tree.Root)
 			root.seen.Add(seq)
@@ -132,7 +132,7 @@ func (sys *System) Node(id int) (*Node, bool) { return sys.nodes.Get(id) }
 
 func (sys *System) onData(id, from int, seq uint64, size int) {
 	n := sys.nodes.At(id)
-	now := sys.eng.Now()
+	now := n.ep.Scheduler().Now()
 	sys.col.Add(now, id, metrics.Raw, size)
 	if from == n.parent {
 		sys.col.Add(now, id, metrics.Parent, size)

@@ -77,6 +77,15 @@ func (q *pq) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q =
 
 const unreachable = int64(-1)
 
+// Sync applies any pending epoch invalidation eagerly. The sharded
+// runner calls it single-threaded at every barrier, immediately after
+// the global events that can mutate the graph: during the parallel
+// shard windows the epoch is then guaranteed stable, so concurrent
+// queries from shard goroutines never race on cache invalidation (a
+// source's tree is only ever built and read by the shard that owns the
+// source node).
+func (r *Router) Sync() { r.ensureEpoch() }
+
 // ensureEpoch invalidates every cached tree when the graph's route
 // epoch has advanced since they were built.
 func (r *Router) ensureEpoch() {

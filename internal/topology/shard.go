@@ -1,0 +1,230 @@
+package topology
+
+import (
+	"sort"
+
+	"bullet/internal/sim"
+)
+
+// ShardPlan is a deterministic partition of the topology into shards
+// for single-run parallel simulation. Shards follow the transit-stub
+// structure: every stub domain (with its clients) is an indivisible
+// atom, atoms are merged across their cheapest connecting links first,
+// and the links left crossing shards are therefore the longest-delay
+// ones available — maximizing the conservative-PDES lookahead, which
+// is the minimum propagation delay over the cut.
+type ShardPlan struct {
+	// K is the effective shard count (>= 1). It can be lower than the
+	// requested count when the topology has fewer atoms.
+	K int
+	// ShardOf maps every node id to its shard index. Shard indices are
+	// normalized by ascending minimum member node id, so the plan is a
+	// pure function of (graph structure, k).
+	ShardOf []int
+	// CutLinks are the ids of links whose endpoints live on different
+	// shards, ascending. The runtime lookahead is the minimum current
+	// delay over these links, recomputed when link state changes.
+	CutLinks []int32
+	// Lookahead is the minimum delay over CutLinks at planning time
+	// (0 when K == 1: no cut, unbounded windows).
+	Lookahead sim.Duration
+}
+
+// LookaheadNow returns the minimum current delay over the cut links —
+// the valid window length given the graph's present link state (a
+// scenario may have shortened a cut link's latency mid-run).
+func (p *ShardPlan) LookaheadNow(g *Graph) sim.Duration {
+	var min sim.Duration
+	for i, lid := range p.CutLinks {
+		d := g.Links[lid].Delay
+		if i == 0 || d < min {
+			min = d
+		}
+	}
+	return min
+}
+
+// uf is a deterministic union-find over node ids.
+type uf struct{ parent []int32 }
+
+func newUF(n int) *uf {
+	p := make([]int32, n)
+	for i := range p {
+		p[i] = int32(i)
+	}
+	return &uf{parent: p}
+}
+
+func (u *uf) find(x int32) int32 {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]] // path halving
+		x = u.parent[x]
+	}
+	return x
+}
+
+// union attaches the larger root under the smaller, so the root of a
+// set is always its minimum member — a deterministic canonical id.
+func (u *uf) union(a, b int32) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if ra > rb {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+}
+
+// nodeWeight approximates a node's event load: clients carry the
+// endpoints, protocol timers, and most packet hops, so they dominate.
+func nodeWeight(k NodeKind) int {
+	if k == Client {
+		return 101
+	}
+	return 1
+}
+
+// PartitionShards partitions g into at most k shards.
+//
+// Atoms are the connected components over Client-Stub and Stub-Stub
+// links: a stub domain and its attached clients always share a shard
+// (so do clients attached directly to transit hubs in handcrafted
+// topologies), which keeps the dense intra-domain traffic off the
+// cut. Atoms are then merged single-linkage style across inter-atom
+// links in ascending (delay, link id) order — subject to a balance cap
+// of twice the ideal shard weight — until k groups remain; if the cap
+// stops merging early, the surplus groups are packed onto the k
+// lightest shards. The result is a pure function of (g, k).
+func PartitionShards(g *Graph, k int) ShardPlan {
+	n := len(g.Nodes)
+	if k < 1 {
+		k = 1
+	}
+	u := newUF(n)
+	for i := range g.Links {
+		l := &g.Links[i]
+		if l.Class == ClientStub || l.Class == StubStub {
+			u.union(int32(l.A), int32(l.B))
+		}
+	}
+
+	// Group weights, indexed by canonical root.
+	weight := make([]int, n)
+	total := 0
+	for i := range g.Nodes {
+		w := nodeWeight(g.Nodes[i].Kind)
+		weight[u.find(int32(i))] += w
+		total += w
+	}
+	groups := 0
+	for i := range g.Nodes {
+		if u.find(int32(i)) == int32(i) {
+			groups++
+		}
+	}
+
+	if k > 1 && groups > k {
+		// Merge phase: cheapest inter-atom links first, so the links
+		// that remain on the cut are the longest-delay ones available.
+		type edge struct {
+			delay sim.Duration
+			id    int32
+		}
+		var edges []edge
+		for i := range g.Links {
+			l := &g.Links[i]
+			if u.find(int32(l.A)) != u.find(int32(l.B)) {
+				edges = append(edges, edge{delay: l.Delay, id: int32(l.ID)})
+			}
+		}
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].delay != edges[j].delay {
+				return edges[i].delay < edges[j].delay
+			}
+			return edges[i].id < edges[j].id
+		})
+		cap := 2 * ((total + k - 1) / k)
+		for _, e := range edges {
+			if groups == k {
+				break
+			}
+			l := &g.Links[e.id]
+			ra, rb := u.find(int32(l.A)), u.find(int32(l.B))
+			if ra == rb {
+				continue
+			}
+			if weight[ra]+weight[rb] > cap {
+				continue
+			}
+			w := weight[ra] + weight[rb]
+			u.union(ra, rb)
+			r := u.find(ra)
+			weight[r] = w
+			groups--
+		}
+	}
+
+	// Pack groups onto shards: with groups <= k this is one group per
+	// shard; otherwise heaviest groups first onto the lightest shard.
+	type grp struct {
+		root   int32
+		weight int
+	}
+	var gs []grp
+	for i := range g.Nodes {
+		if u.find(int32(i)) == int32(i) {
+			gs = append(gs, grp{root: int32(i), weight: weight[i]})
+		}
+	}
+	if k > len(gs) {
+		k = len(gs)
+	}
+	sort.Slice(gs, func(i, j int) bool {
+		if gs[i].weight != gs[j].weight {
+			return gs[i].weight > gs[j].weight
+		}
+		return gs[i].root < gs[j].root
+	})
+	shardW := make([]int, k)
+	shardOfRoot := make(map[int32]int, len(gs))
+	for _, gr := range gs {
+		best := 0
+		for s := 1; s < k; s++ {
+			if shardW[s] < shardW[best] {
+				best = s
+			}
+		}
+		shardOfRoot[gr.root] = best
+		shardW[best] += gr.weight
+	}
+
+	// Normalize shard numbering by ascending minimum node id, so the
+	// packing order above never shows through in the plan.
+	rename := make([]int, k)
+	for i := range rename {
+		rename[i] = -1
+	}
+	next := 0
+	shardOf := make([]int, n)
+	for i := 0; i < n; i++ {
+		s := shardOfRoot[u.find(int32(i))]
+		if rename[s] < 0 {
+			rename[s] = next
+			next++
+		}
+		shardOf[i] = rename[s]
+	}
+
+	plan := ShardPlan{K: k, ShardOf: shardOf}
+	for i := range g.Links {
+		l := &g.Links[i]
+		if shardOf[l.A] != shardOf[l.B] {
+			plan.CutLinks = append(plan.CutLinks, int32(l.ID))
+			if plan.Lookahead == 0 || l.Delay < plan.Lookahead {
+				plan.Lookahead = l.Delay
+			}
+		}
+	}
+	return plan
+}

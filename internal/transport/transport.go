@@ -72,7 +72,7 @@ type ControlHandler func(from int, payload any, size int)
 // Endpoint is one node's attachment to the network.
 type Endpoint struct {
 	net  *netem.Network
-	eng  *sim.Engine
+	eng  sim.Scheduler // the node's shard scheduler; all timers/clock reads
 	node int
 
 	nextFlow  uint32
@@ -100,7 +100,7 @@ type Endpoint struct {
 func NewEndpoint(net *netem.Network, node int) *Endpoint {
 	ep := &Endpoint{
 		net:       net,
-		eng:       net.Engine(),
+		eng:       net.SchedulerFor(node),
 		node:      node,
 		sendFlows: make(map[uint32]*Flow),
 		recvFlows: make(map[flowKey]*recvFlow),
@@ -112,8 +112,10 @@ func NewEndpoint(net *netem.Network, node int) *Endpoint {
 // Node returns the graph node this endpoint is attached to.
 func (ep *Endpoint) Node() int { return ep.node }
 
-// Engine returns the simulation engine.
-func (ep *Endpoint) Engine() *sim.Engine { return ep.eng }
+// Scheduler returns the scheduler executing this node's events: the
+// node's shard engine in a sharded run, the global engine otherwise.
+// Protocol code must schedule all node-local timers through it.
+func (ep *Endpoint) Scheduler() sim.Scheduler { return ep.eng }
 
 // OnData sets the application data callback.
 func (ep *Endpoint) OnData(h DataHandler) { ep.onData = h }

@@ -81,16 +81,17 @@ func InstallCompletion(src Source, col *metrics.Collector) {
 	}
 }
 
-// Pump drives src on eng: the first tick fires at start, and every
-// tick re-schedules the next one after the gap the source returns.
-// stop is the protocol's end condition (duration elapsed, source
-// endpoint failed, deployment stopped) and is consulted at each tick
-// before the source is; emit hands each generated packet to the
-// protocol's ingestion path. The tick order — stop check, emit,
-// re-schedule — is exactly the order of the private pumps this
-// replaces, so a CBR source reproduces their event sequence
+// Pump drives src on eng — the scheduler of the node that owns the
+// source (its shard engine in a sharded run): the first tick fires at
+// start, and every tick re-schedules the next one after the gap the
+// source returns. stop is the protocol's end condition (duration
+// elapsed, source endpoint failed, deployment stopped) and is
+// consulted at each tick before the source is; emit hands each
+// generated packet to the protocol's ingestion path. The tick order —
+// stop check, emit, re-schedule — is exactly the order of the private
+// pumps this replaces, so a CBR source reproduces their event sequence
 // bit-for-bit.
-func Pump(eng *sim.Engine, src Source, start sim.Time, stop func() bool, emit func(seq uint64, size int)) {
+func Pump(eng sim.Scheduler, src Source, start sim.Time, stop func() bool, emit func(seq uint64, size int)) {
 	var seq uint64
 	var tick func()
 	tick = func() {

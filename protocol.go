@@ -30,6 +30,7 @@ import (
 	"bullet/internal/epidemic"
 	"bullet/internal/experiments"
 	"bullet/internal/metrics"
+	"bullet/internal/netem"
 	"bullet/internal/sim"
 	"bullet/internal/streamer"
 	"bullet/internal/workload"
@@ -69,6 +70,12 @@ type Deployment interface {
 	// MemberEpoch counts membership changes (crashes, restarts, joins)
 	// applied so far.
 	MemberEpoch() int
+	// Shard returns the index of the simulation shard executing node's
+	// events (always 0 in a serial world). Purely informational: which
+	// shard a node lands on never changes what the simulation computes.
+	Shard(node int) int
+	// Shards returns the world's effective shard count (1 = serial).
+	Shards() int
 	// Crash fails node mid-run. Recovery is protocol-defined: Bullet
 	// re-parents the orphans after its failover delay and re-installs
 	// Bloom filters at live peers; the plain streamer's subtree simply
@@ -103,6 +110,7 @@ type deployment struct {
 	col  *Collector
 	tree *Tree // nil for gossip
 	sys  runtimeSystem
+	net  *netem.Network
 }
 
 func (d *deployment) Protocol() string       { return d.name }
@@ -112,6 +120,8 @@ func (d *deployment) Tree() *Tree            { return d.tree }
 func (d *deployment) Nodes() []int           { return d.sys.LiveNodes() }
 func (d *deployment) Live(node int) bool     { return d.sys.Live(node) }
 func (d *deployment) MemberEpoch() int       { return d.sys.MemberEpoch() }
+func (d *deployment) Shard(node int) int     { return d.net.ShardOf(node) }
+func (d *deployment) Shards() int            { return d.net.Shards() }
 func (d *deployment) Crash(node int) error   { return d.sys.Crash(node) }
 func (d *deployment) Restart(node int) error { return d.sys.Restart(node) }
 func (d *deployment) Join(node int) error    { return d.sys.Join(node) }
@@ -262,7 +272,7 @@ func (p BulletProtocol) Deploy(w *World, tree *Tree) (Deployment, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &deployment{name: p.Name(), col: col, tree: tree, sys: sys}, nil
+	return &deployment{name: p.Name(), col: col, tree: tree, sys: sys, net: w.net}, nil
 }
 
 // StreamerProtocol deploys the plain tree-streaming baseline (§4.2).
@@ -283,7 +293,7 @@ func (p StreamerProtocol) Deploy(w *World, tree *Tree) (Deployment, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &deployment{name: p.Name(), col: col, tree: tree, sys: sys}, nil
+	return &deployment{name: p.Name(), col: col, tree: tree, sys: sys, net: w.net}, nil
 }
 
 // GossipProtocol deploys the push-gossip baseline (§4.4). It needs no
@@ -306,7 +316,7 @@ func (p GossipProtocol) Deploy(w *World, tree *Tree) (Deployment, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &deployment{name: p.Name(), col: col, sys: sys}, nil
+	return &deployment{name: p.Name(), col: col, sys: sys, net: w.net}, nil
 }
 
 // AntiEntropyProtocol deploys streaming + anti-entropy recovery
@@ -327,5 +337,5 @@ func (p AntiEntropyProtocol) Deploy(w *World, tree *Tree) (Deployment, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &deployment{name: p.Name(), col: col, tree: tree, sys: sys}, nil
+	return &deployment{name: p.Name(), col: col, tree: tree, sys: sys, net: w.net}, nil
 }

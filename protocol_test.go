@@ -166,9 +166,9 @@ func TestProtocolByNameUnknown(t *testing.T) {
 	}
 }
 
-// The deprecated Deploy* wrappers still work and route through the new
-// API (their deployments are tracked by the world).
-func TestDeprecatedWrappersStillWork(t *testing.T) {
+// Deployments made through World.Deploy are tracked by the world and
+// expose their collector.
+func TestDeployTracked(t *testing.T) {
 	w, err := bullet.NewWorld(bullet.WorldConfig{TotalNodes: 800, Clients: 15, Seed: 22})
 	if err != nil {
 		t.Fatal(err)
@@ -180,19 +180,20 @@ func TestDeprecatedWrappersStillWork(t *testing.T) {
 	cfg := bullet.DefaultConfig(400)
 	cfg.Duration = 40 * bullet.Second
 	cfg.MaxSenders, cfg.MaxReceivers = 4, 4
-	sys, col, err := w.DeployBullet(tree, cfg)
+	d, err := w.Deploy(bullet.BulletProtocol{Config: cfg}, tree)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sys == nil || col == nil {
-		t.Fatal("wrapper returned nil system or collector")
+	col := d.Collector()
+	if col == nil {
+		t.Fatal("deployment returned nil collector")
 	}
 	w.Run(60 * bullet.Second)
 	if col.Total(bullet.Useful) == 0 {
-		t.Fatal("nothing delivered through the deprecated wrapper")
+		t.Fatal("nothing delivered")
 	}
 	if deps := w.Deployments(); len(deps) != 1 || deps[0].Protocol() != "bullet" {
-		t.Fatalf("wrapper deployment not tracked: %v", deps)
+		t.Fatalf("deployment not tracked: %v", deps)
 	}
 }
 

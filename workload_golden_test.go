@@ -26,10 +26,10 @@ func TestGoldenWorkloadCBRTraces(t *testing.T) {
 		protocol string
 		want     golden
 	}{
-		{"bullet", golden{2705266, 183407304, 172091604, 194042, 480.3375}},
-		{"streamer", golden{864137, 73950576, 72844152, 71014, 238.84166666666667}},
-		{"gossip", golden{9074532, 403104096, 353668584, 710716, 464.5216216216216}},
-		{"anti-entropy", golden{993582, 74717148, 73657968, 80542, 218.31}},
+		{"bullet", golden{2766401, 188934852, 176410620, 197471, 495.5625}},
+		{"streamer", golden{855928, 72699372, 71682864, 70312, 234.28333333333333}},
+		{"gossip", golden{8998609, 400690080, 352586544, 705322, 469.46756756756756}},
+		{"anti-entropy", golden{975239, 72356472, 71254620, 79017, 213.56923076923078}},
 	}
 	for _, tc := range cases {
 		tc := tc
