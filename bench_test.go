@@ -169,6 +169,19 @@ func BenchmarkChurnCrash(b *testing.B) {
 	})
 }
 
+// BenchmarkAdvFreeride is the adversary subsystem's headline bench:
+// a quarter of the overlay free-rides from the one-third mark on, and
+// the honest-subset floor ratios are the numbers the goodput-floor
+// regression test asserts on (Bullet >= 0.5, streamer < 0.5).
+func BenchmarkAdvFreeride(b *testing.B) {
+	benchExperiment(b, "adv-freeride", func(b *testing.B, r *bullet.ExperimentResult) {
+		b.ReportMetric(r.Summary["bullet_honest_floor_ratio"], "bullet_floor")
+		b.ReportMetric(r.Summary["stream_honest_floor_ratio"], "stream_floor")
+		b.ReportMetric(r.Summary["bullet_honest_after_kbps"], "bullet_honest_kbps")
+		b.ReportMetric(r.Summary["bullet_honest_min_kbps"], "bullet_min_kbps")
+	})
+}
+
 // Workload benches: the same non-CBR workload disseminated by Bullet,
 // the streamer, and gossip. The completion metrics are the headline
 // numbers of the workload layer.

@@ -37,6 +37,7 @@ package bullet
 import (
 	"math/rand"
 
+	"bullet/internal/adversary"
 	"bullet/internal/core"
 	"bullet/internal/epidemic"
 	"bullet/internal/experiments"
@@ -92,6 +93,17 @@ type (
 	ExperimentRun = experiments.Run
 	// ExperimentRunResult pairs an ExperimentRun with its outcome.
 	ExperimentRunResult = experiments.RunResult
+	// Adversary configures a seeded hostile-peer fleet for a
+	// deployment (see WithAdversary): Model picks the attack, Fraction
+	// the compromised share of non-root participants (default 0.25),
+	// Seed an optional extra stream perturbation. The compromised set
+	// and every hostile decision are pure functions of
+	// (world seed, model, scale), drawn from a dedicated counter-hash
+	// stream — never from the engine RNGs other components use.
+	Adversary = adversary.Config
+	// AdversaryModel selects a hostile-peer behavior (AdvFreeride,
+	// AdvLiar, AdvCutvertex, AdvJoinstorm, AdvBallotstuff).
+	AdversaryModel = adversary.Model
 	// Scenario is a declarative schedule of timed network events
 	// (failures, bandwidth shifts, partitions); see NewScenario.
 	Scenario = scenario.Schedule
@@ -144,6 +156,27 @@ const (
 const (
 	Millisecond = sim.Millisecond
 	Second      = sim.Second
+)
+
+// Adversary models (see the Adversary config and WithAdversary).
+const (
+	// AdvNone disables the adversary layer (the Adversary zero value).
+	AdvNone = adversary.None
+	// AdvFreeride receives data but never relays to children nor
+	// serves mesh/recovery requests.
+	AdvFreeride = adversary.Freeride
+	// AdvLiar advertises summary tickets for blocks it does not hold,
+	// poisoning min-resemblance sender selection, and serves nothing.
+	AdvLiar = adversary.Liar
+	// AdvCutvertex crashes the live tree's heaviest cut vertices at
+	// strike time to maximize orphaned subtree mass.
+	AdvCutvertex = adversary.Cutvertex
+	// AdvJoinstorm drives seeded flash crowds of leave/rejoin
+	// oscillation through the membership API.
+	AdvJoinstorm = adversary.Joinstorm
+	// AdvBallotstuff stuffs RanSub collect ballots so random subsets
+	// are biased toward colluders, which then refuse to serve.
+	AdvBallotstuff = adversary.Ballotstuff
 )
 
 // Bandwidth profiles of Table 1.
@@ -273,7 +306,7 @@ func (w *World) At(t Time, fn func()) { w.eng.At(t, fn) }
 //	    At(60*bullet.Second, bullet.RestoreLink(lid))
 //	w.Scenario(s)
 func (w *World) Scenario(s *Scenario) {
-	s.Install(&scenario.Env{Eng: w.eng, G: w.g, M: w})
+	s.Install(&scenario.Env{Eng: w.eng, G: w.g, M: w, A: w})
 }
 
 // NewScenario returns an empty scenario schedule. Populate it with At,
@@ -325,6 +358,17 @@ func JoinNode(node int) ScenarioAction { return scenario.JoinNode(node) }
 // mass-failure workload.
 func ChurnNodes(nodes ...int) ScenarioAction { return scenario.ChurnNodes(nodes...) }
 
+// CompromiseNodes adds the nodes to the colluder set of every
+// adversary fleet deployed in the world (see WithAdversary).
+// Compromising is silent until AdversaryAt strikes.
+func CompromiseNodes(nodes ...int) ScenarioAction { return scenario.CompromiseNodes(nodes...) }
+
+// AdversaryAt fires the strike of every adversary fleet deployed in
+// the world. Leeching models (AdvFreeride, AdvLiar, AdvBallotstuff)
+// flip hostile and stay so; each extra AdversaryAt repeats the attack
+// wave of the crash-timing models (AdvCutvertex, AdvJoinstorm).
+func AdversaryAt() ScenarioAction { return scenario.AdversaryAt() }
+
 // RandomTree builds a random degree-bounded tree over the participants
 // rooted at the first participant.
 func (w *World) RandomTree(maxDegree int) (*Tree, error) {
@@ -346,11 +390,11 @@ func (w *World) OvercastTree(maxDegree int) (*Tree, error) {
 // RunExperiment executes one of the paper's table/figure reproductions
 // by id ("table1", "fig6" ... "fig15", "overcast").
 func RunExperiment(id string, scale ExperimentScale, seed int64) (*ExperimentResult, error) {
-	runner, ok := experiments.Registry[id]
+	entry, ok := experiments.Registry[id]
 	if !ok {
 		return nil, &UnknownExperimentError{ID: id, Suggestion: experiments.Suggest(id)}
 	}
-	return runner(scale, seed)
+	return entry.Run(scale, seed)
 }
 
 // RunExperiments executes several experiment runs concurrently across

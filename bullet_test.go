@@ -69,8 +69,8 @@ func TestRunExperimentUnknown(t *testing.T) {
 
 func TestExperimentsListed(t *testing.T) {
 	ids := bullet.Experiments()
-	if len(ids) != 23 {
-		t.Fatalf("%d experiments, want 23", len(ids))
+	if len(ids) != 28 {
+		t.Fatalf("%d experiments, want 28", len(ids))
 	}
 	listed := make(map[string]bool, len(ids))
 	for _, id := range ids {
@@ -80,6 +80,8 @@ func TestExperimentsListed(t *testing.T) {
 		"dyn-bottleneck", "dyn-partition", "dyn-flashcrowd", "dyn-oscillate",
 		"churn-crash25", "churn-crashheal", "churn-rolling", "churn-join",
 		"churn-xl", "filedist-compare", "vbr-stream",
+		"adv-freeride", "adv-liar", "adv-cutvertex", "adv-joinstorm",
+		"adv-ballotstuff",
 	} {
 		if !listed[id] {
 			t.Errorf("experiment %q not listed", id)

@@ -112,7 +112,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 
 	if *list {
 		for _, n := range experiments.Names() {
-			fmt.Fprintln(stdout, n)
+			fmt.Fprintf(stdout, "%-16s  %s\n", n, experiments.Registry[n].Desc)
 		}
 		return 0
 	}

@@ -118,20 +118,27 @@ func TestUnknownIDSuggestsNearest(t *testing.T) {
 	}
 }
 
-// -list prints each registered experiment id on its own line, sorted.
+// -list prints each registered experiment on its own line, sorted by
+// id, with a one-line description column.
 func TestListPrintsOnePerLine(t *testing.T) {
 	code, out, _ := runCLI(t, "-list")
 	if code != 0 {
 		t.Fatalf("exit %d, want 0", code)
 	}
 	lines := strings.Split(strings.TrimSpace(out), "\n")
-	if len(lines) != 23 {
-		t.Fatalf("%d lines, want 23 (one per experiment)", len(lines))
+	if len(lines) != 28 {
+		t.Fatalf("%d lines, want 28 (one per experiment)", len(lines))
 	}
-	for i := 1; i < len(lines); i++ {
-		if lines[i-1] >= lines[i] {
-			t.Fatalf("ids not sorted: %q >= %q", lines[i-1], lines[i])
+	prev := ""
+	for _, l := range lines {
+		fields := strings.Fields(l)
+		if len(fields) < 2 {
+			t.Fatalf("line %q has no description column", l)
 		}
+		if prev >= fields[0] && prev != "" {
+			t.Fatalf("ids not sorted: %q >= %q", prev, fields[0])
+		}
+		prev = fields[0]
 	}
 }
 

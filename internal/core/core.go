@@ -22,6 +22,7 @@ import (
 	"math"
 	"math/rand"
 
+	"bullet/internal/adversary"
 	"bullet/internal/bloom"
 	"bullet/internal/metrics"
 	"bullet/internal/netem"
@@ -263,6 +264,13 @@ type System struct {
 	memberEpoch int
 	joinDegree  int
 	stopped     bool
+
+	// adv, when non-nil, is the attached hostile-peer fleet;
+	// fakeTickets holds the forged summary tickets of Liar/Ballotstuff
+	// colluders (written only from global-engine context, see
+	// adversary.go).
+	adv         *adversary.Fleet
+	fakeTickets nodeset.Table[*sketch.Ticket]
 }
 
 // Deploy instantiates Bullet on every participant of tree, wires
@@ -353,6 +361,9 @@ func (sys *System) addNode(id int) error {
 	sched.ScheduleAfter(sys.cfg.FilterRefresh+jitter, n.refreshFn)
 	sched.ScheduleAfter(sys.cfg.EvalInterval+jitter, n.evalFn)
 	sched.ScheduleAfter(sys.cfg.PumpInterval+jitter%sys.cfg.PumpInterval, n.pumpFn)
+	if sys.adv != nil {
+		sys.armAdversary(n) // late joiners get the model's hooks too
+	}
 	sys.nodes.Put(id, n)
 	return nil
 }
@@ -467,6 +478,9 @@ func (n *Node) ingest(seq uint64, size int) {
 // feedReceivers enqueues seq at every receiving peer whose row and
 // filter admit it.
 func (n *Node) feedReceivers(seq uint64) {
+	if n.sys.refusesServe(n.id) {
+		return
+	}
 	for _, rf := range n.receivers {
 		if seq < rf.low {
 			continue
@@ -491,7 +505,7 @@ func (n *Node) feedReceivers(seq uint64) {
 // their limiting factors, transferring ownership if the owner's
 // transport refuses.
 func (n *Node) disjointSend(seq uint64, size int) {
-	if len(n.children) == 0 {
+	if len(n.children) == 0 || n.sys.refusesRelay(n.id) {
 		return
 	}
 	if !n.sys.cfg.DisjointSend {
@@ -849,8 +863,10 @@ func (n *Node) pumpTick() {
 	if n.ep.Failed() {
 		return
 	}
-	for _, rf := range n.receivers {
-		n.pumpReceiver(rf)
+	if !n.sys.refusesServe(n.id) {
+		for _, rf := range n.receivers {
+			n.pumpReceiver(rf)
+		}
 	}
 	n.ep.Scheduler().ScheduleAfter(n.sys.cfg.PumpInterval, n.pumpFn)
 }

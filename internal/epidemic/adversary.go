@@ -1,0 +1,74 @@
+package epidemic
+
+// Minimal adversary wiring for the epidemic baselines: only Freeride
+// has a surface here (stop re-forwarding gossip pushes / stop serving
+// anti-entropy digests); the tree- and RanSub-targeted models are
+// honest no-ops. Both systems accept the same scenario actions as the
+// main protocols so an identical attack schedule can run against them.
+
+import "bullet/internal/adversary"
+
+// SetAdversary attaches fleet to the gossip deployment.
+func (sys *GossipSystem) SetAdversary(f *adversary.Fleet) {
+	if f == nil || f.Model() == adversary.None {
+		sys.adv = nil
+		return
+	}
+	sys.adv = f
+}
+
+// Adversary returns the attached fleet, or nil.
+func (sys *GossipSystem) Adversary() *adversary.Fleet { return sys.adv }
+
+// Compromise adds nodes to the fleet's colluder set.
+func (sys *GossipSystem) Compromise(nodes []int) {
+	if sys.adv != nil {
+		sys.adv.Compromise(nodes)
+	}
+}
+
+// Strike activates the fleet; freeriders stop re-forwarding pushes.
+func (sys *GossipSystem) Strike() {
+	if sys.adv != nil {
+		sys.adv.Activate()
+	}
+}
+
+func (sys *GossipSystem) refusesServe(id int) bool {
+	return sys.adv != nil && sys.adv.RefusesServe(id)
+}
+
+// SetAdversary attaches fleet to the anti-entropy deployment.
+func (sys *AntiEntropySystem) SetAdversary(f *adversary.Fleet) {
+	if f == nil || f.Model() == adversary.None {
+		sys.adv = nil
+		return
+	}
+	sys.adv = f
+}
+
+// Adversary returns the attached fleet, or nil.
+func (sys *AntiEntropySystem) Adversary() *adversary.Fleet { return sys.adv }
+
+// Compromise adds nodes to the fleet's colluder set.
+func (sys *AntiEntropySystem) Compromise(nodes []int) {
+	if sys.adv != nil {
+		sys.adv.Compromise(nodes)
+	}
+}
+
+// Strike activates the fleet; freeriders stop relaying to children
+// and stop answering digests.
+func (sys *AntiEntropySystem) Strike() {
+	if sys.adv != nil {
+		sys.adv.Activate()
+	}
+}
+
+func (sys *AntiEntropySystem) refusesServe(id int) bool {
+	return sys.adv != nil && sys.adv.RefusesServe(id)
+}
+
+func (sys *AntiEntropySystem) refusesRelay(id int) bool {
+	return sys.adv != nil && sys.adv.RefusesRelay(id)
+}

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"bullet/internal/adversary"
 	"bullet/internal/bloom"
 	"bullet/internal/member"
 	"bullet/internal/metrics"
@@ -94,6 +95,10 @@ type GossipSystem struct {
 	dead    nodeset.Set
 	epoch   int
 	stopped bool
+
+	// adv, when non-nil, is the attached hostile-peer fleet (see
+	// adversary.go).
+	adv *adversary.Fleet
 }
 
 // DeployGossip wires gossip nodes over the participant set (full
@@ -178,7 +183,9 @@ func (sys *GossipSystem) onData(id, from int, seq uint64, size int) {
 		if s := sys.cfg.Sink; s != nil {
 			s.Deliver(now, id, seq)
 		}
-		sys.push(n, seq, size)
+		if !sys.refusesServe(id) {
+			sys.push(n, seq, size)
+		}
 	} else {
 		sys.col.Add(now, id, metrics.Duplicate, size)
 	}
@@ -327,6 +334,10 @@ type AntiEntropySystem struct {
 	epoch      int
 	joinDegree int
 	stopped    bool
+
+	// adv, when non-nil, is the attached hostile-peer fleet (see
+	// adversary.go).
+	adv *adversary.Fleet
 }
 
 // DeployAntiEntropy wires tree streaming plus random-peer anti-entropy
@@ -435,7 +446,9 @@ func (sys *AntiEntropySystem) onData(id, from int, seq uint64, size int) {
 	if s := sys.cfg.Sink; s != nil {
 		s.Deliver(now, id, seq)
 	}
-	sys.forward(n, seq, size)
+	if !sys.refusesRelay(id) {
+		sys.forward(n, seq, size)
+	}
 }
 
 // aeRound sends this node's digest to a few random peers.
@@ -470,6 +483,9 @@ func (sys *AntiEntropySystem) onControl(id, from int, payload any) {
 	m, ok := payload.(*aeDigestMsg)
 	if !ok {
 		return
+	}
+	if sys.refusesServe(id) {
+		return // hostile: never answer a repair digest
 	}
 	n := sys.nodes.At(id)
 	pi, ok := sys.pindex.Get(from)

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bullet/internal/adversary"
+	"bullet/internal/core"
+	"bullet/internal/metrics"
+	"bullet/internal/overlay"
+	"bullet/internal/scenario"
+	"bullet/internal/sim"
+	"bullet/internal/streamer"
+	"bullet/internal/topology"
+)
+
+// Adversary experiments: a seeded fraction of the overlay turns
+// hostile mid-stream and the honest remainder's goodput is compared
+// across Bullet and the plain tree streamer under the *identical*
+// attack (same topology, same tree, same compromised set, same strike
+// instant). The fleet stays dormant until the strike, so the pre-event
+// phase of every run is byte-identical to a clean run and the
+// before/after ratio is a true clean-vs-attacked comparison.
+//
+// Summaries are computed over the honest subset only — colluders
+// (including cut-vertex victims recorded at strike time) would
+// otherwise drag both protocols down identically and hide whether the
+// protocol protects the nodes that are playing by the rules.
+
+// advSystem is what an adversary variant deploys: churn-style
+// membership plus the adversary wiring.
+type advSystem interface {
+	churnSystem
+	SetAdversary(f *adversary.Fleet)
+	Compromise(nodes []int)
+	Strike()
+}
+
+// advCompare runs the same adversary model against Bullet and the
+// plain tree streamer in two independent worlds built from the same
+// seed. The strike fires at the one-third mark; summaries use the
+// churn phase windows so adversary and churn runs read the same way.
+func advCompare(name string, sc Scale, seed int64, cfg adversary.Config) (*Result, error) {
+	t1, t2 := dynPhases(sc)
+	r := newResult(name)
+
+	type deployFn func(w *world, tree *overlay.Tree, col *metrics.Collector) (advSystem, error)
+	variants := []struct {
+		label  string
+		deploy deployFn
+	}{
+		{"bullet", func(w *world, tree *overlay.Tree, col *metrics.Collector) (advSystem, error) {
+			return core.Deploy(w.net, tree, bulletConfig(sc, defaultRateKbps), col)
+		}},
+		{"stream", func(w *world, tree *overlay.Tree, col *metrics.Collector) (advSystem, error) {
+			return streamer.Deploy(w.net, tree, streamer.Config{
+				RateKbps: defaultRateKbps, PacketSize: 1500, Start: sc.Start, Duration: sc.Duration,
+			}, col)
+		}},
+	}
+	for _, v := range variants {
+		w, err := newWorld(sc, topology.MediumBandwidth, topology.NoLoss, seed)
+		if err != nil {
+			return nil, err
+		}
+		tree, err := w.randomTree(sc)
+		if err != nil {
+			return nil, err
+		}
+		col := metrics.NewCollector(sim.Second)
+		sys, err := v.deploy(w, tree, col)
+		if err != nil {
+			return nil, err
+		}
+		fleet := adversary.New(cfg, tree.Participants, tree.Root, w.seed)
+		sys.SetAdversary(fleet)
+		sched := scenario.New().At(t1, scenario.AdversaryAt())
+		sched.Install(&scenario.Env{Eng: w.eng, G: w.g, M: sys, A: sys})
+		w.run(sc.RunUntil)
+
+		// Colluders are read after the run: cutvertex victims are only
+		// recorded at strike time, from the live tree.
+		live := sys.LiveNodes()
+		honest := metrics.Excluding(live, fleet.Colluders())
+		r.addSeries(v.label+"_useful", col.Series(metrics.Useful))
+		pre := col.MeanOverNodes(honest, t1-20*sim.Second, t1, metrics.Useful)
+		during := col.MeanOverNodes(honest, t1+5*sim.Second, t2, metrics.Useful)
+		post := col.MeanOverNodes(honest, t2+10*sim.Second, sc.RunUntil, metrics.Useful)
+		r.Summary[v.label+"_honest_before_kbps"] = pre
+		r.Summary[v.label+"_honest_during_kbps"] = during
+		r.Summary[v.label+"_honest_after_kbps"] = post
+		if pre > 0 {
+			r.Summary[v.label+"_honest_floor_ratio"] = post / pre
+		}
+		// The source never *receives*, so it would pin the min at zero.
+		honestRecv := metrics.Excluding(honest, []int{tree.Root})
+		r.Summary[v.label+"_honest_min_kbps"] = col.MinOverNodes(honestRecv, t2+10*sim.Second, sc.RunUntil, metrics.Useful)
+		r.Summary[v.label+"_colluders"] = float64(len(fleet.Colluders()))
+		r.Summary[v.label+"_live_nodes"] = float64(len(live))
+	}
+	r.Summary["event_start_s"] = t1.ToSeconds()
+	r.Summary["event_end_s"] = t2.ToSeconds()
+	return r, nil
+}
+
+// AdvFreeride: a quarter of the non-root overlay receives but never
+// relays tree data nor serves mesh requests. Bullet's honest nodes
+// route recovery around the leeches; streamer descendants of a
+// free-riding interior node starve for the rest of the run.
+func AdvFreeride(sc Scale, seed int64) (*Result, error) {
+	return advCompare("Adversary: free-riders leech without serving", sc, seed,
+		adversary.Config{Model: adversary.Freeride})
+}
+
+// AdvLiar: compromised nodes advertise forged summary tickets whose
+// sequence range is disjoint from the real stream, so min-resemblance
+// sender selection ranks them as the most useful peers — then they
+// refuse to serve. Bullet's eviction and re-peering must shed them;
+// the streamer has no mesh, so the model is an honest no-op there and
+// the streamer columns double as the clean-run baseline.
+func AdvLiar(sc Scale, seed int64) (*Result, error) {
+	return advCompare("Adversary: forged-ticket sender-selection poisoning", sc, seed,
+		adversary.Config{Model: adversary.Liar})
+}
+
+// AdvCutvertex: the attacker spends a seeded crash budget on the live
+// tree's heaviest cut vertices — the nodes whose failure orphans the
+// most descendants — all at one instant. Victims are chosen from the
+// live overlay at strike time and recorded as colluders so the honest
+// summaries exclude them.
+func AdvCutvertex(sc Scale, seed int64) (*Result, error) {
+	return advCompare("Adversary: targeted cut-vertex crash", sc, seed,
+		adversary.Config{Model: adversary.Cutvertex})
+}
+
+// AdvJoinstorm: compromised nodes leave at the strike and rejoin
+// after short seeded dwells — a coordinated flash crowd exercising
+// repair and join churn at once.
+func AdvJoinstorm(sc Scale, seed int64) (*Result, error) {
+	return advCompare("Adversary: coordinated leave/rejoin flash crowd", sc, seed,
+		adversary.Config{Model: adversary.Joinstorm})
+}
+
+// AdvBallotstuff: compromised nodes rewrite their RanSub collect
+// ballots to advertise only colluders (with forged tickets and
+// inflated descendant counts), biasing random subsets toward the
+// colluding set. The streamer has no RanSub, so the model is an
+// honest no-op there.
+func AdvBallotstuff(sc Scale, seed int64) (*Result, error) {
+	return advCompare("Adversary: RanSub ballot stuffing", sc, seed,
+		adversary.Config{Model: adversary.Ballotstuff})
+}
+
+func init() {
+	// Self-check: every adversary experiment must be registered (the
+	// Registry literal lives in experiments.go, like the churn-* ids).
+	for _, id := range []string{"adv-freeride", "adv-liar", "adv-cutvertex", "adv-joinstorm", "adv-ballotstuff"} {
+		if _, ok := Registry[id]; !ok {
+			panic(fmt.Sprintf("experiments: %s missing from Registry", id))
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+// advIDs is the locked model axis of the acceptance matrix, in
+// registry order.
+var advIDs = []string{"adv-freeride", "adv-liar", "adv-cutvertex", "adv-joinstorm", "adv-ballotstuff"}
+
+// advSeeds is the locked seed axis. These seeds are part of the
+// subsystem's acceptance contract: changing them (or the set of
+// models) is a semantic change and must be called out in review.
+var advSeeds = []int64{11, 17, 23, 31, 47}
+
+// TestAdversaryAcceptanceMatrix locks the seeds × models matrix: every
+// adversary model at every locked seed must produce TSV output that is
+// byte-identical between the serial engine and a 4-shard run. Any
+// adversary RNG draw made outside the global-engine context — or any
+// hook that reads state written inside a shard window — diverges here.
+func TestAdversaryAcceptanceMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full seeds × models matrix skipped in -short (shard_identity covers a cross-section)")
+	}
+	for _, id := range advIDs {
+		for _, seed := range advSeeds {
+			id, seed := id, seed
+			t.Run(fmt.Sprintf("%s/seed%d", id, seed), func(t *testing.T) {
+				t.Parallel()
+				serial := renderTSV(t, id, identityScale(), seed)
+				if serial == "" {
+					t.Fatal("serial run produced no output")
+				}
+				sc := identityScale()
+				sc.Shards = 4
+				if got := renderTSV(t, id, sc, seed); got != serial {
+					t.Errorf("shards=4: output differs from serial run")
+				}
+			})
+		}
+	}
+}
+
+// TestAdvFreerideBulletGoodputFloor is the subsystem's headline
+// assertion: with a quarter of the overlay free-riding, Bullet's
+// honest nodes keep at least half of their clean-run goodput (the mesh
+// routes recovery around the leeches) while the plain streamer's
+// honest nodes fall below half (orphaned subtrees under free-riding
+// interior nodes starve). The fleet is dormant before the strike, so
+// the before-window is a true clean-run baseline.
+func TestAdvFreerideBulletGoodputFloor(t *testing.T) {
+	r, err := AdvFreeride(Small, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bullet := r.Summary["bullet_honest_floor_ratio"]
+	stream := r.Summary["stream_honest_floor_ratio"]
+	if bullet < 0.5 {
+		t.Errorf("bullet honest floor ratio %.3f < 0.5 (before %.0f -> after %.0f Kbps)",
+			bullet, r.Summary["bullet_honest_before_kbps"], r.Summary["bullet_honest_after_kbps"])
+	}
+	if stream >= 0.5 {
+		t.Errorf("streamer honest floor ratio %.3f >= 0.5: free-riding should starve streamer subtrees (before %.0f -> after %.0f Kbps)",
+			stream, r.Summary["stream_honest_before_kbps"], r.Summary["stream_honest_after_kbps"])
+	}
+	if bullet <= stream {
+		t.Errorf("bullet floor %.3f not above streamer floor %.3f", bullet, stream)
+	}
+}
+
+// TestAdvSummariesPresent sanity-checks that every adversary run
+// reports the honest-subset summary keys for both variants and a
+// non-empty colluder set (cutvertex records its victims at strike).
+func TestAdvSummariesPresent(t *testing.T) {
+	for _, id := range advIDs {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			r, err := Registry[id].Run(identityScale(), 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, label := range []string{"bullet", "stream"} {
+				for _, k := range []string{"_honest_before_kbps", "_honest_after_kbps", "_honest_min_kbps", "_colluders", "_live_nodes"} {
+					if _, ok := r.Summary[label+k]; !ok {
+						t.Errorf("summary missing %s%s", label, k)
+					}
+				}
+				if r.Summary[label+"_colluders"] < 1 {
+					t.Errorf("%s: no colluders recorded", label)
+				}
+			}
+		})
+	}
+}

@@ -55,7 +55,7 @@ func TestChurnExperimentsShape(t *testing.T) {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			t.Parallel()
-			r, err := Registry[id](Small, 7)
+			r, err := Registry[id].Run(Small, 7)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -16,7 +16,7 @@ func TestDynExperimentsShape(t *testing.T) {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			t.Parallel()
-			r, err := Registry[id](Small, 7)
+			r, err := Registry[id].Run(Small, 7)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -225,44 +225,60 @@ func (w *world) bottleneckTree(packetSize float64) (*overlay.Tree, error) {
 // Runner is an experiment entry point.
 type Runner func(sc Scale, seed int64) (*Result, error)
 
-// Registry maps experiment IDs to runners, for cmd/bullet-sim.
-var Registry = map[string]Runner{
-	"table1":   Table1,
-	"fig6":     Fig06,
-	"fig7":     Fig07,
-	"fig8":     Fig08,
-	"fig9":     Fig09,
-	"fig10":    Fig10,
-	"fig11":    Fig11,
-	"fig12":    Fig12,
-	"fig13":    Fig13,
-	"fig14":    Fig14,
-	"fig15":    Fig15,
-	"overcast": OvercastComparison,
+// Entry is one registered experiment: its runner plus a one-line
+// description (shown by bullet-sim -list).
+type Entry struct {
+	Run  Runner
+	Desc string
+}
+
+// Registry maps experiment IDs to entries, for cmd/bullet-sim.
+var Registry = map[string]Entry{
+	"table1":   {Table1, "topology generation statistics (Table 1)"},
+	"fig6":     {Fig06, "bottleneck vs random tree bandwidth (Figure 6)"},
+	"fig7":     {Fig07, "Bullet useful/raw bandwidth and overhead (Figure 7)"},
+	"fig8":     {Fig08, "per-node useful bandwidth CDF (Figure 8)"},
+	"fig9":     {Fig09, "Bullet vs bottleneck tree, low/high bandwidth (Figure 9)"},
+	"fig10":    {Fig10, "disjoint-send ablation: non-disjoint relay (Figure 10)"},
+	"fig11":    {Fig11, "Bullet vs push gossip vs anti-entropy (Figure 11)"},
+	"fig12":    {Fig12, "low-bandwidth comparison run (Figure 12)"},
+	"fig13":    {Fig13, "performance under 25% node failure (Figure 13)"},
+	"fig14":    {Fig14, "performance under link loss (Figure 14)"},
+	"fig15":    {Fig15, "Bullet vs best/worst streaming trees (Figure 15)"},
+	"overcast": {OvercastComparison, "Overcast-style online tree vs offline bottleneck tree"},
 
 	// Dynamic-network scenarios (see dynamics.go): Bullet vs the plain
 	// tree streamer under runtime link mutations.
-	"dyn-bottleneck": DynBottleneck,
-	"dyn-partition":  DynPartition,
-	"dyn-flashcrowd": DynFlashCrowd,
-	"dyn-oscillate":  DynOscillate,
+	"dyn-bottleneck": {DynBottleneck, "transit backbone degrades mid-run, Bullet vs streamer"},
+	"dyn-partition":  {DynPartition, "network partition and heal, Bullet vs streamer"},
+	"dyn-flashcrowd": {DynFlashCrowd, "flash-crowd bandwidth squeeze, Bullet vs streamer"},
+	"dyn-oscillate":  {DynOscillate, "oscillating link failure, Bullet vs streamer"},
 
 	// Membership-churn scenarios (see churn.go): crashes, restarts, and
 	// joins replayed against Bullet and the plain tree streamer.
 	// churn-xl is the scale-path smoke mix, designed to be run at the
 	// xl scale (CI does).
-	"churn-crash25":   ChurnCrash25,
-	"churn-crashheal": ChurnCrashHeal,
-	"churn-rolling":   ChurnRolling,
-	"churn-join":      ChurnJoin,
-	"churn-xl":        ChurnXL,
+	"churn-crash25":   {ChurnCrash25, "25% crash wave mid-stream, Bullet vs streamer"},
+	"churn-crashheal": {ChurnCrashHeal, "crash wave with staggered restarts, Bullet vs streamer"},
+	"churn-rolling":   {ChurnRolling, "rolling one-at-a-time churn, Bullet vs streamer"},
+	"churn-join":      {ChurnJoin, "late join wave, Bullet vs streamer"},
+	"churn-xl":        {ChurnXL, "sustained crash/restart/join mix (xl scale-path smoke)"},
 
 	// Workload comparisons (see workloads.go): the identical non-CBR
 	// workload — fountain-coded file distribution with completion
 	// CDFs, or a bursty VBR stream — disseminated by Bullet, the plain
 	// streamer, and push gossip.
-	"filedist-compare": FileDistCompare,
-	"vbr-stream":       VBRStream,
+	"filedist-compare": {FileDistCompare, "fountain-coded file distribution completion times"},
+	"vbr-stream":       {VBRStream, "bursty on/off VBR stream, Bullet vs streamer"},
+
+	// Adversary scenarios (see adversary.go): Bullet vs the plain tree
+	// streamer under the identical seeded hostile-peer attack, honest
+	// subset metrics only.
+	"adv-freeride":    {AdvFreeride, "free-riders leech without serving, Bullet vs streamer"},
+	"adv-liar":        {AdvLiar, "forged-ticket sender-selection poisoning, Bullet vs streamer"},
+	"adv-cutvertex":   {AdvCutvertex, "targeted cut-vertex crash timing, Bullet vs streamer"},
+	"adv-joinstorm":   {AdvJoinstorm, "seeded leave/rejoin flash crowds, Bullet vs streamer"},
+	"adv-ballotstuff": {AdvBallotstuff, "RanSub ballot stuffing toward colluders, Bullet vs streamer"},
 }
 
 // Names returns registry keys in a stable order.

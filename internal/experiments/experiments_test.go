@@ -26,9 +26,11 @@ func TestRegistryComplete(t *testing.T) {
 		"fig11", "fig12", "fig13", "fig14", "fig15", "overcast",
 		"dyn-bottleneck", "dyn-partition", "dyn-flashcrowd", "dyn-oscillate",
 		"churn-crash25", "churn-crashheal", "churn-rolling", "churn-join",
-		"churn-xl", "filedist-compare", "vbr-stream"}
+		"churn-xl", "filedist-compare", "vbr-stream",
+		"adv-freeride", "adv-liar", "adv-cutvertex", "adv-joinstorm",
+		"adv-ballotstuff"}
 	for _, id := range want {
-		if Registry[id] == nil {
+		if _, ok := Registry[id]; !ok {
 			t.Fatalf("registry missing %q", id)
 		}
 	}

@@ -56,10 +56,10 @@ func RunAll(runs []Run, workers int) []RunResult {
 }
 
 func execute(r Run) RunResult {
-	runner, ok := Registry[r.ID]
+	entry, ok := Registry[r.ID]
 	if !ok {
 		return RunResult{Run: r, Err: &UnknownExperimentError{ID: r.ID, Suggestion: Suggest(r.ID)}}
 	}
-	res, err := runner(r.Scale, r.Seed)
+	res, err := entry.Run(r.Scale, r.Seed)
 	return RunResult{Run: r, Result: res, Err: err}
 }

@@ -24,7 +24,7 @@ func identityScale() Scale {
 // byte-identity surface the sharded engine must preserve.
 func renderTSV(t *testing.T, id string, sc Scale, seed int64) string {
 	t.Helper()
-	r, err := Registry[id](sc, seed)
+	r, err := Registry[id].Run(sc, seed)
 	if err != nil {
 		t.Fatalf("%s at %d shard(s): %v", id, sc.Shards, err)
 	}

@@ -304,6 +304,53 @@ func (c *Collector) MeanOverNodes(nodes []int, from, to sim.Time, k Kind) float6
 	return c.meanKbps(sum, lo, hi, len(nodes))
 }
 
+// MinOverNodes returns the smallest per-node mean bandwidth in Kbps
+// of kind k over [from, to) among the given nodes — the goodput floor
+// the worst-off node in the set actually sees, which a mean can hide.
+// Untracked nodes count as zero. Returns 0 for an empty node list or
+// window.
+func (c *Collector) MinOverNodes(nodes []int, from, to sim.Time, k Kind) float64 {
+	lo, hi, ok := c.bucketRange(from, to)
+	if !ok || len(nodes) == 0 {
+		return 0
+	}
+	min := math.Inf(1)
+	for _, id := range nodes {
+		var sum float64
+		if ns := c.nodes.At(id); ns != nil {
+			for i := lo; i < hi; i++ {
+				if i < len(ns.buckets[k]) {
+					sum += float64(ns.buckets[k][i])
+				}
+			}
+		}
+		if m := c.meanKbps(sum, lo, hi, 1); m < min {
+			min = m
+		}
+	}
+	return min
+}
+
+// Excluding returns nodes minus excluded, preserving order — the
+// honest-subset filter for adversarial runs (pass a deployment's
+// colluders as excluded). Neither input is mutated.
+func Excluding(nodes, excluded []int) []int {
+	if len(excluded) == 0 {
+		return append([]int(nil), nodes...)
+	}
+	drop := make(map[int]bool, len(excluded))
+	for _, id := range excluded {
+		drop[id] = true
+	}
+	out := make([]int, 0, len(nodes))
+	for _, id := range nodes { // input order preserved: no map iteration
+		if !drop[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
 // bucketRange clips [from, to) to populated buckets.
 func (c *Collector) bucketRange(from, to sim.Time) (lo, hi int, ok bool) {
 	lo, hi = int(from/c.bucket), int(to/c.bucket)

@@ -207,6 +207,70 @@ func TestMeanOverNodes(t *testing.T) {
 	}
 }
 
+func TestMinOverNodes(t *testing.T) {
+	c := NewCollector(sim.Second)
+	c.Track(1)
+	c.Track(2)
+	c.Track(3)
+	c.Add(0, 1, Useful, 125000) // 1000 Kbps
+	c.Add(0, 2, Useful, 250000) // 2000 Kbps
+	c.Add(0, 3, Useful, 62500)  // 500 Kbps
+
+	if got := c.MinOverNodes([]int{1, 2, 3}, 0, sim.Second, Useful); got != 500 {
+		t.Errorf("min = %v, want 500", got)
+	}
+	if got := c.MinOverNodes([]int{1, 2}, 0, sim.Second, Useful); got != 1000 {
+		t.Errorf("subset min = %v, want 1000", got)
+	}
+	// Unknown ids count as zero — a starved node must not be hidden.
+	if got := c.MinOverNodes([]int{1, 99}, 0, sim.Second, Useful); got != 0 {
+		t.Errorf("unknown-id min = %v, want 0", got)
+	}
+	// Empty node set and degenerate windows.
+	if got := c.MinOverNodes(nil, 0, sim.Second, Useful); got != 0 {
+		t.Errorf("nil node set = %v, want 0", got)
+	}
+	if got := c.MinOverNodes([]int{1}, sim.Second, sim.Second, Useful); got != 0 {
+		t.Errorf("zero-width window = %v, want 0", got)
+	}
+	// A single node's min equals its mean.
+	if got, want := c.MinOverNodes([]int{2}, 0, sim.Second, Useful), c.MeanOverNodes([]int{2}, 0, sim.Second, Useful); got != want {
+		t.Errorf("single-node min = %v, mean = %v", got, want)
+	}
+}
+
+func TestExcluding(t *testing.T) {
+	nodes := []int{5, 1, 9, 3, 7}
+	got := Excluding(nodes, []int{9, 5, 42})
+	if want := []int{1, 3, 7}; !equalInts(got, want) {
+		t.Errorf("Excluding = %v, want %v", got, want)
+	}
+	// Nil exclusion copies rather than aliasing the input.
+	cp := Excluding(nodes, nil)
+	if !equalInts(cp, nodes) {
+		t.Errorf("Excluding(nil) = %v, want %v", cp, nodes)
+	}
+	cp[0] = -1
+	if nodes[0] != 5 {
+		t.Error("Excluding aliased its input slice")
+	}
+	if got := Excluding(nil, []int{1}); len(got) != 0 {
+		t.Errorf("Excluding(nil nodes) = %v, want empty", got)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func TestCompletionTracking(t *testing.T) {
 	c := NewCollector(sim.Second)
 	c.Track(1)

@@ -114,6 +114,11 @@ type Agent struct {
 	TicketFn func() *sketch.Ticket
 	// OnDistribute is invoked when an epoch's distribute set arrives.
 	OnDistribute func(epoch int, set []Entry)
+	// StuffFn, when non-nil, may rewrite the collect ballot (set and
+	// descendant count) just before it is sent to the parent — the
+	// hook the adversary layer's ballot-stuffing model uses. It must
+	// be deterministic; returning its inputs unchanged is a no-op.
+	StuffFn func(set []Entry, descendants int) ([]Entry, int)
 
 	epoch int
 	// childCollect holds the latest collect from each child, keyed
@@ -409,6 +414,9 @@ func (a *Agent) sendCollect() {
 		}
 	}
 	set := Compact(a.rng, a.cfg.SetSize, groups)
+	if a.StuffFn != nil {
+		set, desc = a.StuffFn(set, desc)
+	}
 	msg := &collectMsg{epoch: a.epoch, set: set, descendants: desc}
 	a.ep.SendControl(a.parent, msg, 24+len(set)*EntryWireSize)
 }

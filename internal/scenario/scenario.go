@@ -37,15 +37,27 @@ type Membership interface {
 	Join(node int) error
 }
 
+// Adversary is the hostile-peer half of a scenario environment:
+// anything that can extend a compromised set and fire an attack (a
+// deployed protocol system with an attached adversary fleet, or a
+// fan-out over several). Implementations must be deterministic; a
+// deployment without a configured adversary treats both as no-ops.
+type Adversary interface {
+	Compromise(nodes []int)
+	Strike()
+}
+
 // Env is what actions act upon: the simulation engine that carries
 // virtual time, the graph whose link state network actions mutate, and
-// (optionally) the deployment membership churn actions act on. A nil M
-// makes every membership action a no-op, so link-only schedules work
-// unchanged.
+// (optionally) the deployment membership churn actions act on and the
+// adversary fleet attack actions drive. A nil M makes every membership
+// action a no-op, and a nil A every adversary action, so link-only
+// schedules work unchanged.
 type Env struct {
 	Eng *sim.Engine
 	G   *topology.Graph
 	M   Membership
+	A   Adversary
 }
 
 // Action is one atomic network mutation. Actions must be deterministic:
@@ -144,6 +156,30 @@ func ChurnNodes(nodes ...int) Action {
 		}
 		for _, n := range ns {
 			_ = env.M.Crash(n)
+		}
+	}
+}
+
+// CompromiseNodes adds the nodes to the adversary's colluder set
+// (no-op without an Adversary in the Env). Compromising is silent:
+// behavior only turns hostile once AdversaryAt strikes.
+func CompromiseNodes(nodes ...int) Action {
+	ns := append([]int(nil), nodes...)
+	return func(env *Env) {
+		if env.A != nil {
+			env.A.Compromise(ns)
+		}
+	}
+}
+
+// AdversaryAt fires the configured adversary's strike (no-op without
+// an Adversary in the Env). Leeching models flip hostile and stay so;
+// for the crash-timing models each strike is one attack wave, so
+// scheduling several AdversaryAt actions sustains the assault.
+func AdversaryAt() Action {
+	return func(env *Env) {
+		if env.A != nil {
+			env.A.Strike()
 		}
 	}
 }

@@ -198,3 +198,89 @@ func TestChurnBuilder(t *testing.T) {
 		t.Fatalf("no-restart churn scheduled %d events, want 2", s2.Len())
 	}
 }
+
+// fakeAdversary records adversary operations for assertion.
+type fakeAdversary struct {
+	compromised []int
+	strikes     int
+	log         *[]string
+}
+
+func (f *fakeAdversary) Compromise(nodes []int) {
+	f.compromised = append(f.compromised, nodes...)
+	if f.log != nil {
+		*f.log = append(*f.log, "compromise")
+	}
+}
+
+func (f *fakeAdversary) Strike() {
+	f.strikes++
+	if f.log != nil {
+		*f.log = append(*f.log, "strike")
+	}
+}
+
+func TestAdversaryActions(t *testing.T) {
+	env, _ := testEnv(t)
+	a := &fakeAdversary{}
+	env.A = a
+	nodes := []int{4, 5}
+	New().
+		At(10*sim.Second, CompromiseNodes(nodes...)).
+		At(20*sim.Second, AdversaryAt()).
+		At(40*sim.Second, AdversaryAt()).
+		Install(env)
+	nodes[0] = 99 // CompromiseNodes must have copied its argument
+	env.Eng.Run(50 * sim.Second)
+	if want := []int{4, 5}; len(a.compromised) != 2 || a.compromised[0] != want[0] || a.compromised[1] != want[1] {
+		t.Fatalf("compromised %v, want %v", a.compromised, want)
+	}
+	if a.strikes != 2 {
+		t.Fatalf("strikes = %d, want 2", a.strikes)
+	}
+}
+
+func TestAdversaryActionsNilA(t *testing.T) {
+	env, _ := testEnv(t)
+	New().
+		At(10*sim.Second, CompromiseNodes(1), AdversaryAt()).
+		Install(env)
+	env.Eng.Run(20 * sim.Second) // must not panic with A == nil
+}
+
+// TestSameInstantActionsFireInInsertionOrder pins the tie-break that
+// makes mixed schedules deterministic: when adversary, churn, and
+// link actions share one timestamp, they fire in the order they were
+// added to the schedule — across events and within one event's action
+// batch — regardless of action family.
+func TestSameInstantActionsFireInInsertionOrder(t *testing.T) {
+	env, lid := testEnv(t)
+	var log []string
+	m := &fakeMembership{}
+	a := &fakeAdversary{log: &log}
+	env.M, env.A = m, a
+	mark := func(s string) Action {
+		return Func(func(*Env) { log = append(log, s) })
+	}
+	const at = 25 * sim.Second
+	New().
+		At(at, CompromiseNodes(3)).
+		At(at, CrashNode(3), mark("crash")).
+		At(at, AdversaryAt()).
+		At(at, FailLink(lid), mark("fail-link")).
+		At(at, AdversaryAt()).
+		Install(env)
+	env.Eng.Run(30 * sim.Second)
+	want := []string{"compromise", "crash", "strike", "fail-link", "strike"}
+	if len(log) != len(want) {
+		t.Fatalf("log %v, want %v", log, want)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("log %v, want %v", log, want)
+		}
+	}
+	if len(m.crashes) != 1 || m.crashes[0] != 3 {
+		t.Fatalf("crashes %v, want [3]", m.crashes)
+	}
+}

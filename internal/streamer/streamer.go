@@ -10,6 +10,7 @@ package streamer
 import (
 	"fmt"
 
+	"bullet/internal/adversary"
 	"bullet/internal/member"
 	"bullet/internal/metrics"
 	"bullet/internal/netem"
@@ -67,6 +68,10 @@ type System struct {
 	epoch      int // membership epoch: churn operation count
 	joinDegree int
 	stopped    bool
+
+	// adv, when non-nil, is the attached hostile-peer fleet (see
+	// adversary.go).
+	adv *adversary.Fleet
 }
 
 // Deploy creates endpoints and flows for every tree participant and
@@ -142,7 +147,9 @@ func (sys *System) onData(id, from int, seq uint64, size int) {
 		if s := sys.cfg.Sink; s != nil {
 			s.Deliver(now, id, seq)
 		}
-		n.forward(seq, size)
+		if !sys.refusesRelay(id) {
+			n.forward(seq, size)
+		}
 	} else {
 		sys.col.Add(now, id, metrics.Duplicate, size)
 	}

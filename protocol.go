@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"sort"
 
+	"bullet/internal/adversary"
 	"bullet/internal/core"
 	"bullet/internal/epidemic"
 	"bullet/internal/experiments"
@@ -86,6 +87,11 @@ type Deployment interface {
 	// Join admits a brand-new participant at the protocol's
 	// deterministic join point.
 	Join(node int) error
+	// Colluders returns the ids compromised by the deployment's
+	// adversary fleet in ascending order (nil without WithAdversary).
+	// Filter these out with MinKbpsOverNodes/honest-subset metrics to
+	// measure the goodput honest participants actually see.
+	Colluders() []int
 	// Stop tears the deployment down; the world keeps running.
 	Stop()
 }
@@ -103,6 +109,14 @@ type runtimeSystem interface {
 	Workload() workload.Source
 }
 
+// advSystem is the adversary contract the internal protocol systems
+// satisfy (narrow hooks; see internal/adversary).
+type advSystem interface {
+	SetAdversary(*adversary.Fleet)
+	Compromise(nodes []int)
+	Strike()
+}
+
 // deployment is the stock Deployment implementation shared by the four
 // built-in protocols.
 type deployment struct {
@@ -111,6 +125,11 @@ type deployment struct {
 	tree *Tree // nil for gossip
 	sys  runtimeSystem
 	net  *netem.Network
+
+	// fleet/adv are set by WithAdversary: the seeded hostile fleet and
+	// the protocol system's adversary hook surface.
+	fleet *adversary.Fleet
+	adv   advSystem
 }
 
 func (d *deployment) Protocol() string       { return d.name }
@@ -127,18 +146,86 @@ func (d *deployment) Restart(node int) error { return d.sys.Restart(node) }
 func (d *deployment) Join(node int) error    { return d.sys.Join(node) }
 func (d *deployment) Stop()                  { d.sys.Stop() }
 
+func (d *deployment) Colluders() []int {
+	if d.fleet == nil {
+		return nil
+	}
+	return append([]int(nil), d.fleet.Colluders()...)
+}
+
+// compromise/strike forward scenario adversary actions to the
+// protocol system; no-ops without WithAdversary.
+func (d *deployment) compromise(nodes []int) {
+	if d.adv != nil {
+		d.adv.Compromise(nodes)
+	}
+}
+
+func (d *deployment) strike() {
+	if d.adv != nil {
+		d.adv.Strike()
+	}
+}
+
+// DeployOption configures a single World.Deploy call.
+type DeployOption func(*deployOptions)
+
+type deployOptions struct {
+	adv Adversary
+}
+
+// WithAdversary deploys the protocol with a seeded hostile-peer fleet
+// attached: a pure-function-of-(seed, model, scale) subset of the
+// participants is compromised at deploy time, but behaves honestly
+// until a scenario's AdversaryAt action strikes. See bullet.Adversary
+// for the models.
+func WithAdversary(a Adversary) DeployOption {
+	return func(o *deployOptions) { o.adv = a }
+}
+
 // Deploy instantiates p over tree and registers the deployment with
 // this world, so scenario membership actions (CrashNode, RestartNode,
-// JoinNode, ChurnNodes) reach it. This is the one generic entry point
-// every protocol deploys through; resolve registered protocols by name
-// with ProtocolByName.
-func (w *World) Deploy(p Protocol, tree *Tree) (Deployment, error) {
+// JoinNode, ChurnNodes) and adversary actions (CompromiseNodes,
+// AdversaryAt) reach it. This is the one generic entry point every
+// protocol deploys through; resolve registered protocols by name with
+// ProtocolByName.
+func (w *World) Deploy(p Protocol, tree *Tree, opts ...DeployOption) (Deployment, error) {
+	var o deployOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
 	d, err := p.Deploy(w, tree)
 	if err != nil {
 		return nil, err
 	}
+	if o.adv.Model != AdvNone {
+		if err := attachAdversary(w, d, tree, o.adv); err != nil {
+			return nil, err
+		}
+	}
 	w.deployments = append(w.deployments, d)
 	return d, nil
+}
+
+// attachAdversary builds the seeded fleet over the deployment's
+// participant set and hands it to the protocol system's hooks.
+func attachAdversary(w *World, d Deployment, tree *Tree, cfg Adversary) error {
+	dd, ok := d.(*deployment)
+	if !ok {
+		return fmt.Errorf("bullet: deployment %q does not support adversaries", d.Protocol())
+	}
+	sys, ok := dd.sys.(advSystem)
+	if !ok {
+		return fmt.Errorf("bullet: protocol %q does not support adversaries", d.Protocol())
+	}
+	participants, root := w.g.Clients, w.g.Clients[0]
+	if tree != nil {
+		participants, root = tree.Participants, tree.Root
+	}
+	fleet := adversary.New(cfg, participants, root, w.eng.Seed())
+	sys.SetAdversary(fleet)
+	dd.fleet, dd.adv = fleet, sys
+	return nil
 }
 
 // Deployments returns the deployments tracked by this world, in deploy
@@ -162,6 +249,27 @@ func (w *World) Restart(node int) error {
 // Join forwards to every deployment in this world.
 func (w *World) Join(node int) error {
 	return w.forEachDeployment("join", func(d Deployment) error { return d.Join(node) })
+}
+
+// Compromise forwards to every deployment with an attached adversary
+// fleet (scenario CompromiseNodes actions land here). Deployments
+// without one ignore it.
+func (w *World) Compromise(nodes []int) {
+	for _, d := range w.deployments {
+		if dd, ok := d.(*deployment); ok {
+			dd.compromise(nodes)
+		}
+	}
+}
+
+// Strike fires every attached adversary fleet (scenario AdversaryAt
+// actions land here).
+func (w *World) Strike() {
+	for _, d := range w.deployments {
+		if dd, ok := d.(*deployment); ok {
+			dd.strike()
+		}
+	}
 }
 
 func (w *World) forEachDeployment(op string, fn func(Deployment) error) error {
