@@ -198,6 +198,10 @@ var (
 	// 400 participants, the CI smoke point for the scale path.
 	XLScale    = experiments.XL
 	PaperScale = experiments.PaperScale
+	// MegaScale is the 100,000-node / 10,000-participant configuration:
+	// five times the paper's scale, exercising the hierarchical router
+	// and the sharded runner with a deliberately short stream window.
+	MegaScale = experiments.Mega
 )
 
 // DefaultConfig returns the paper's Bullet parameters for a target
@@ -284,6 +288,14 @@ func (w *World) Now() Time { return w.eng.Now() }
 // Shards returns the effective shard count the world executes with
 // (1 = serial).
 func (w *World) Shards() int { return w.net.Shards() }
+
+// ShardStat is one shard's planned weight and measured load.
+type ShardStat = netem.ShardStat
+
+// ShardStats returns cumulative per-shard load counters (nil when the
+// world runs serially). Purely observational — reading it never
+// affects the simulation.
+func (w *World) ShardStats() []ShardStat { return w.net.ShardStats() }
 
 // Run advances virtual time to `until`, serially or across the world's
 // shards (WorldConfig.Shards). The trace is identical either way.

@@ -42,9 +42,11 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync"
 	"time"
 
 	"bullet/internal/experiments"
+	"bullet/internal/netem"
 )
 
 // RunConfig bundles the execution knobs of one bullet-sim invocation —
@@ -104,6 +106,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	)
 	fs.IntVar(&cfg.Parallel, "parallel", runtime.GOMAXPROCS(0), "worker goroutines for multi-experiment runs")
 	fs.IntVar(&cfg.Shards, "shards", 0, "simulation shards per experiment run (0 or 1 = serial; output is identical at any value)")
+	shardStats := fs.Bool("shardstats", false, "print a per-shard load table to stderr after sharded runs (for partition-balance diagnosis; most useful with a single experiment)")
 	fs.StringVar(&cfg.CPUProfile, "cpuprofile", "", "write a CPU profile of the experiment runs to this file")
 	fs.StringVar(&cfg.MemProfile, "memprofile", "", "write an allocation profile (after the runs) to this file")
 	if err := fs.Parse(argv); err != nil {
@@ -131,6 +134,11 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	scale.Shards = cfg.Shards
+	var statsRec *shardStatsRecorder
+	if *shardStats {
+		statsRec = &shardStatsRecorder{}
+		scale.ShardStatsSink = statsRec.record
+	}
 	var ids []string
 	if *experiment == "all" {
 		ids = experiments.Names()
@@ -185,6 +193,11 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	if !*quiet {
 		fmt.Fprintf(stderr, "finished in %v\n", time.Since(start).Round(time.Millisecond))
 	}
+	if statsRec != nil {
+		// Stats go to stderr: stdout carries the TSV results and must
+		// stay byte-identical with and without the flag.
+		statsRec.print(stderr)
+	}
 	profileFailed := false
 	if memFile != nil {
 		runtime.GC() // flush accounting so the profile reflects the runs
@@ -227,6 +240,38 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// shardStatsRecorder collects per-shard load counters from experiment
+// worlds. Counters are cumulative, so each world's latest report
+// supersedes its earlier ones; the recorder keeps the final table seen
+// (with several experiments in flight, that is the last world to
+// finish a run segment — the flag is aimed at single-experiment use).
+type shardStatsRecorder struct {
+	mu   sync.Mutex
+	last []netem.ShardStat
+}
+
+func (r *shardStatsRecorder) record(st []netem.ShardStat) {
+	r.mu.Lock()
+	r.last = append(r.last[:0], st...)
+	r.mu.Unlock()
+}
+
+func (r *shardStatsRecorder) print(w io.Writer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.last) == 0 {
+		fmt.Fprintln(w, "# shard stats: no sharded run executed")
+		return
+	}
+	fmt.Fprintf(w, "# shard load (K=%d)\n", len(r.last))
+	fmt.Fprintln(w, "shard\tnodes\tclients\tweight\tevents\tbusy_ms")
+	for _, s := range r.last {
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%.1f\n",
+			s.Shard, s.Nodes, s.Clients, s.Weight, s.Events,
+			float64(s.BusyNanos)/1e6)
+	}
 }
 
 func writeResult(dir string, rr experiments.RunResult, scaleName string, stderr io.Writer) error {

@@ -278,3 +278,51 @@ func TestShardedOutputMatchesSerial(t *testing.T) {
 		t.Fatal("no output produced")
 	}
 }
+
+func TestShardStatsTableOnStderr(t *testing.T) {
+	if testing.Short() {
+		t.Skip("small-scale sharded run; skipped in -short")
+	}
+	args := []string{"-q", "-experiment", "fig6", "-scale", "small", "-shards", "4"}
+	code, plain, _ := runCLI(t, args...)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	code, out, errb := runCLI(t, append(args, "-shardstats")...)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	if out != plain {
+		t.Fatal("-shardstats changed stdout bytes")
+	}
+	if !strings.Contains(errb, "# shard load (K=4)") {
+		t.Fatalf("stderr missing shard load header:\n%s", errb)
+	}
+	if !strings.Contains(errb, "shard\tnodes\tclients\tweight\tevents\tbusy_ms") {
+		t.Fatalf("stderr missing shard table columns:\n%s", errb)
+	}
+	// Four data rows, each with measured events.
+	rows := 0
+	for _, line := range strings.Split(errb, "\n") {
+		f := strings.Split(line, "\t")
+		if len(f) == 6 && f[0] != "shard" {
+			rows++
+			if f[4] == "0" {
+				t.Errorf("shard %s reports zero executed events", f[0])
+			}
+		}
+	}
+	if rows != 4 {
+		t.Fatalf("got %d shard rows, want 4:\n%s", rows, errb)
+	}
+}
+
+func TestShardStatsSerialReportsNone(t *testing.T) {
+	code, _, errb := runCLI(t, "-q", "-experiment", "table1", "-scale", "small", "-shardstats")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	if !strings.Contains(errb, "no sharded run executed") {
+		t.Fatalf("stderr missing serial notice:\n%s", errb)
+	}
+}

@@ -39,6 +39,13 @@ type Scale struct {
 	// trades goroutine/barrier overhead for wall-clock speedup on
 	// multi-core hosts.
 	Shards int
+
+	// ShardStatsSink, when set on a sharded scale, receives the
+	// cumulative per-shard load counters after every run segment of
+	// every world the experiment builds (bullet-sim -shardstats wires
+	// this to a stderr table). Purely observational: it never affects
+	// simulation output.
+	ShardStatsSink func([]netem.ShardStat)
 }
 
 // The four standard scales.
@@ -59,10 +66,19 @@ var (
 	// INET topologies with 1000 participants, streaming from t=100s.
 	PaperScale = Scale{Name: "paper", TopoNodes: 20000, Clients: 1000,
 		Start: 100 * sim.Second, Duration: 300 * sim.Second, RunUntil: 400 * sim.Second, TreeDegree: 10}
+	// Mega is the 100,000-node / 10,000-participant configuration — five
+	// times the paper's topology and participant count, exercising the
+	// hierarchical router (which engages above 50k nodes) and the
+	// sharded runner at full tilt. The stream window is deliberately
+	// short: at this scale the interesting costs are startup and
+	// steady-state event throughput, not long-horizon protocol behavior,
+	// and the short window keeps mega runnable as a CI smoke test.
+	Mega = Scale{Name: "mega", TopoNodes: 100000, Clients: 10000,
+		Start: 20 * sim.Second, Duration: 15 * sim.Second, RunUntil: 40 * sim.Second, TreeDegree: 10}
 )
 
 // ScaleNames returns the recognized scale names, smallest first.
-func ScaleNames() []string { return []string{"small", "medium", "xl", "paper"} }
+func ScaleNames() []string { return []string{"small", "medium", "xl", "paper", "mega"} }
 
 // ScaleByName resolves a scale name. Unknown names yield an
 // UnknownScaleError carrying a did-you-mean suggestion.
@@ -76,6 +92,8 @@ func ScaleByName(name string) (Scale, error) {
 		return XL, nil
 	case "paper":
 		return PaperScale, nil
+	case "mega":
+		return Mega, nil
 	}
 	return Scale{}, &UnknownScaleError{Name: name, Suggestion: Nearest(name, ScaleNames())}
 }
@@ -182,11 +200,12 @@ func (r *Result) Print(w io.Writer) {
 
 // world bundles one emulated network instance.
 type world struct {
-	eng  *sim.Engine
-	net  *netem.Network
-	g    *topology.Graph
-	rt   *topology.Router
-	seed int64
+	eng       *sim.Engine
+	net       *netem.Network
+	g         *topology.Graph
+	rt        *topology.Router
+	seed      int64
+	statsSink func([]netem.ShardStat)
 }
 
 // newWorld generates a topology at the given scale/profile and wraps
@@ -205,14 +224,21 @@ func newWorld(sc Scale, bw topology.BandwidthProfile, loss topology.LossProfile,
 	if sc.Shards > 1 {
 		net.EnableShards(sc.Shards)
 	}
-	return &world{eng: eng, net: net, g: g, rt: rt, seed: seed}, nil
+	return &world{eng: eng, net: net, g: g, rt: rt, seed: seed, statsSink: sc.ShardStatsSink}, nil
 }
 
 // run executes the world's event loop to the given virtual time,
 // through the emulator so sharded worlds run their parallel loop.
 // All experiment runners must use this instead of w.eng.Run: driving
 // the engine directly would strand events on shard heaps.
-func (w *world) run(until sim.Time) { w.net.Run(until) }
+func (w *world) run(until sim.Time) {
+	w.net.Run(until)
+	if w.statsSink != nil {
+		if st := w.net.ShardStats(); st != nil {
+			w.statsSink(st)
+		}
+	}
+}
 
 func (w *world) randomTree(sc Scale) (*overlay.Tree, error) {
 	return overlay.Random(w.g.Clients, w.g.Clients[0], sc.TreeDegree, rand.New(rand.NewSource(w.seed^0x74726565)))

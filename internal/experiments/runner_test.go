@@ -55,7 +55,8 @@ func TestRunAllPreservesOrder(t *testing.T) {
 		t.Fatalf("got %d results, want 3", len(out))
 	}
 	for i, rr := range out {
-		if rr.Run != runs[i] {
+		if rr.Run.ID != runs[i].ID || rr.Run.Seed != runs[i].Seed ||
+			rr.Run.Scale.Name != runs[i].Scale.Name {
 			t.Fatalf("result %d is for run %+v, want %+v", i, rr.Run, runs[i])
 		}
 	}

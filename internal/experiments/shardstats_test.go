@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"testing"
+
+	"bullet/internal/netem"
+)
+
+// TestShardStatsAndCalibration runs Figure 7 sharded and checks the
+// load-observability loop end to end: every shard reports its planned
+// weight and measured load, the sink fires through world.run, and the
+// measured event counts support a client-weight fit in the same decade
+// as topology.DefaultClientWeight (which was derived from exactly this
+// run shape — see the constant's comment).
+func TestShardStatsAndCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full small-scale run; skipped in -short")
+	}
+	var sunk []netem.ShardStat
+	sc := Small
+	sc.Shards = 4
+	sc.ShardStatsSink = func(st []netem.ShardStat) { sunk = append(sunk[:0], st...) }
+	w, _, _, err := fig7Run(sc, 42, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := w.net.ShardStats()
+	if len(stats) != 4 {
+		t.Fatalf("got %d shard stats, want 4", len(stats))
+	}
+	if len(sunk) != len(stats) {
+		t.Fatalf("sink saw %d shards, ShardStats reports %d", len(sunk), len(stats))
+	}
+	totalNodes, totalClients := 0, 0
+	for i, s := range stats {
+		if s.Shard != i {
+			t.Errorf("stat %d has Shard=%d", i, s.Shard)
+		}
+		if s.Events == 0 {
+			t.Errorf("shard %d executed no events", i)
+		}
+		if s.Weight == 0 {
+			t.Errorf("shard %d has no planned weight", i)
+		}
+		if sunk[i].Events != s.Events {
+			t.Errorf("shard %d: sink saw %d events, final stats %d", i, sunk[i].Events, s.Events)
+		}
+		totalNodes += s.Nodes
+		totalClients += s.Clients
+	}
+	if totalNodes != len(w.g.Nodes) || totalClients != len(w.g.Clients) {
+		t.Fatalf("stats cover %d nodes / %d clients, world has %d / %d",
+			totalNodes, totalClients, len(w.g.Nodes), len(w.g.Clients))
+	}
+	wgt, ok := netem.CalibrateClientWeight(stats)
+	if !ok {
+		t.Fatal("calibration failed on a real run")
+	}
+	// The measured ratio is noisy run to run but sits around 10^4 —
+	// far above the 101:1 the balancer once assumed.
+	if wgt < 1000 || wgt > 1000000 {
+		t.Fatalf("calibrated client weight %d outside plausible band [1e3, 1e6]", wgt)
+	}
+}

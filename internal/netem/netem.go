@@ -113,6 +113,11 @@ type shardCtx struct {
 	// barrier. nil in serial runs.
 	out [][]handoff
 
+	// busyNanos accumulates wall-clock time this shard spent executing
+	// window events — the load-balance signal behind ShardStats and the
+	// PartitionShards client-weight calibration.
+	busyNanos int64
+
 	// Per-shard slice of the aggregate accounting.
 	dataBytesSent    uint64
 	dataBytesDeliv   uint64
@@ -166,7 +171,17 @@ type Network struct {
 	plan     *topology.ShardPlan
 	engines  []*sim.Engine
 	parallel bool
-	xbuf     []xferEntry // barrier scratch, reused across rounds
+	xq       xferQueue // barrier sort scratch, reused across rounds
+
+	// Round state for the barrier loop (see parallel.go). roundLimit
+	// and lookahead are written by the coordinator before the round's
+	// first window is published; roundEnd advances at barrier
+	// decisions. All reads and writes are ordered by the arrival
+	// counter and the per-shard release words.
+	wb         *wbarrier
+	roundLimit sim.Time
+	roundEnd   sim.Time
+	lookahead  sim.Duration
 }
 
 // New creates an emulator over graph g routed by rt, scheduling on eng.

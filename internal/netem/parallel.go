@@ -1,8 +1,11 @@
 package netem
 
 import (
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"bullet/internal/sim"
 	"bullet/internal/topology"
@@ -11,18 +14,168 @@ import (
 // This file holds the sharded execution mode: conservative parallel
 // discrete-event simulation over a deterministic partition of the
 // topology (topology.PartitionShards). Each shard owns one event heap
-// and runs windows of length L — the minimum propagation delay over the
-// links crossing the cut — in its own goroutine. A packet can only
-// reach another shard by traversing a cut link, so its arrival lies at
-// or beyond the window boundary; handoffs are exchanged at the barrier
-// in a deterministically sorted order, which makes the event schedule —
-// and therefore every trace and metric — byte-identical to the serial
-// run at any shard count.
+// and runs windows bounded by L — the minimum propagation delay over
+// the links crossing the cut — with shard 0 inline on the calling
+// goroutine and the rest on workers that live for the whole run. A
+// packet can only reach another shard by traversing a cut link, so its
+// arrival lies at or beyond the window boundary; handoffs are exchanged
+// at the barrier in a deterministically sorted order, which makes the
+// event schedule — and therefore every trace and metric — byte-identical
+// to the serial run at any shard count.
+//
+// Windows are grouped into rounds. The coordinator fixes the round
+// limit (the next global-engine event, or end of run — the only things
+// that must execute single-threaded), publishes the first window end,
+// and releases exactly the shards holding events inside it. The last
+// shard to reach the window barrier decides — on provably quiescent
+// state — whether the round must stop (a cross-shard handoff is
+// parked, or nothing can run before the limit) or extend: when every
+// outbox is empty, no pending event anywhere can produce a cross-shard
+// arrival before minNext + L, so the next window runs through
+// min(minNext + L, limit) and only the shards with events inside it
+// are released. Idle shards stay parked across any number of window
+// boundaries at zero cost, a window with one busy shard degenerates to
+// an inline function call, and the exchange/global phases run only at
+// round ends — the barriers that provably had work to do. Every event
+// still executes in the window the serial schedule implies, so none of
+// this perturbs output bytes.
 
 // xferEntry pairs a handoff with its source shard for the barrier sort.
 type xferEntry struct {
 	h   handoff
 	src int
+}
+
+// xferQueue orders handoffs by (arrival time, producing-hop time,
+// source shard) — a pure function of simulation state. It implements
+// sort.Interface on a pointer receiver so sort.Stable boxes a pointer
+// to the Network's persistent queue, not a fresh slice header: the
+// exchange sorts without allocating.
+type xferQueue []xferEntry
+
+func (q *xferQueue) Len() int      { return len(*q) }
+func (q *xferQueue) Swap(i, j int) { (*q)[i], (*q)[j] = (*q)[j], (*q)[i] }
+func (q *xferQueue) Less(i, j int) bool {
+	a, b := &(*q)[i], &(*q)[j]
+	if a.h.at != b.h.at {
+		return a.h.at < b.h.at
+	}
+	if a.h.schedAt != b.h.schedAt {
+		return a.h.schedAt < b.h.schedAt
+	}
+	return a.src < b.src
+}
+
+// Release words pack a shard's next instruction into one atomic word,
+// so a released shard learns everything from the load it was already
+// spinning on — there is no separately published decision it could
+// observe torn or stale.
+//
+//	bit 0: sense (flips every post; each word has one waiting owner)
+//	bit 1: stop (worker: exit the run; coordinator: the round is over)
+//	bits 2+: the window-end virtual time
+const (
+	stateSense = 1 << 0
+	stateStop  = 1 << 1
+)
+
+func stateWord(end sim.Time, stop bool, sense uint32) uint64 {
+	w := uint64(end)<<2 | uint64(sense)
+	if stop {
+		w |= stateStop
+	}
+	return w
+}
+
+// Decision outcomes of windowDecide for the shard that ran it.
+const (
+	actRun  = iota // run the window just published
+	actPark        // leave the round and wait on the release word
+	actOver        // the round is over (coordinator only)
+)
+
+// pword is one shard's release word: an atomic state plus a park path.
+// The owner spins on the state first (a busy shard is re-released
+// within the decider's few hundred nanoseconds), yields, then parks on
+// the condition variable (idle shards burn no CPU while others work
+// through long windows or the coordinator runs global phases).
+type pword struct {
+	state atomic.Uint64
+	mu    sync.Mutex
+	cond  *sync.Cond
+	_     [40]byte // keep neighbouring words off one cache line
+}
+
+// post releases the owner with the next window end (or the stop bit).
+// Posters are serialized by the round structure — the barrier decider
+// or the coordinator between rounds — so reading the current sense
+// outside the lock is safe.
+func (p *pword) post(end sim.Time, stop bool) {
+	w := stateWord(end, stop, uint32(p.state.Load()&stateSense)^1)
+	p.mu.Lock()
+	p.state.Store(w)
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// wait blocks the owner until the word's sense differs from *sense,
+// toggles *sense, and returns the word.
+func (p *pword) wait(sense *uint32) uint64 {
+	old := *sense
+	*sense = old ^ 1
+	for i := 0; i < 4096; i++ {
+		if w := p.state.Load(); uint32(w&stateSense) != old {
+			return w
+		}
+		if i >= 256 {
+			runtime.Gosched()
+		}
+	}
+	p.mu.Lock()
+	for {
+		w := p.state.Load()
+		if uint32(w&stateSense) != old {
+			p.mu.Unlock()
+			return w
+		}
+		p.cond.Wait()
+	}
+}
+
+// wbarrier is the window barrier: an arrival counter over the shards
+// active in the current window, plus one release word per shard. The
+// last arriver of a window runs windowDecide on quiescent state and
+// releases exactly the shards active in the next window; everyone else
+// breaks back to waiting on their own word.
+//
+// count packs the window's membership size (high 32 bits) and the
+// arrivals so far (low 32 bits) into one word, reset by whoever
+// publishes a window (coordinator at round start, decider at
+// extensions) strictly before any release word is posted. The packing
+// is load-bearing: an arriver learns "am I last?" from the single Add
+// return value, so it can never compare its arrival against the next
+// window's membership (with separate counters, a shard whose Add lost
+// the race to the decider could re-read a reset counter and elect
+// itself a second decider).
+type wbarrier struct {
+	count atomic.Uint64
+	words []pword
+	actv  []int // publishWindow scratch: active shards of the window
+}
+
+// arrive joins the current window's barrier and reports whether the
+// caller was the last arriver (and must run windowDecide).
+func (b *wbarrier) arrive() bool {
+	w := b.count.Add(1)
+	return uint32(w) == uint32(w>>32)
+}
+
+func newBarrier(parties int) *wbarrier {
+	b := &wbarrier{words: make([]pword, parties), actv: make([]int, 0, parties)}
+	for i := range b.words {
+		b.words[i].cond = sync.NewCond(&b.words[i].mu)
+	}
+	return b
 }
 
 // EnableShards partitions the topology into at most k shards and
@@ -89,55 +242,209 @@ func (n *Network) nextEventAt() (sim.Time, bool) {
 	return min, ok
 }
 
-// runSharded is the conservative-PDES barrier loop. Each round:
+// pendingHandoffs reports whether any shard parked a cross-shard
+// handoff that has not been exchanged yet. Callers run either at a
+// barrier decision or after a round — the outboxes are quiescent.
+func (n *Network) pendingHandoffs() bool {
+	for i := range n.ctxs {
+		for _, box := range n.ctxs[i].out {
+			if len(box) > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// windowDecide is the barrier decision, run by shard me as the last
+// arriver at a window boundary. Every other active shard is waiting on
+// its release word and every dormant shard has been parked since an
+// earlier boundary, so all heaps and outboxes are quiescent — the
+// decider is the only thread touching simulation state, whichever
+// shard it happens to be. That lets it run the exchange in place:
+// every event in the window executed at t >= the window's base, so a
+// handoff's arrival (t plus a cut-link delay >= L) lies at or beyond
+// the boundary just reached, and draining outboxes here delivers it
+// before any shard can pass it — without tearing the round down and
+// bouncing through the coordinator. The round stops only when nothing
+// can run before the round limit (the next global-engine event, which
+// must execute single-threaded). Otherwise it extends: every pending
+// event lies at or beyond minNext, so no cross-shard arrival can land
+// before minNext + L, and the next window runs through
+// min(minNext + L, limit) — only on the shards that hold events inside
+// it. Fused exchange and extension preserve byte identity: handoffs
+// enter the destination heaps in the same deterministically sorted
+// order, before anything later schedules at the same instant, and
+// every event still fires in the window the serial schedule implies.
+func (n *Network) windowDecide(me int) (sim.Time, int) {
+	end := n.roundEnd
+	if n.pendingHandoffs() {
+		n.exchange()
+	}
+	var minNext sim.Time
+	ok := false
+	for _, e := range n.engines {
+		if t, o := e.NextAt(); o && (!ok || t < minNext) {
+			minNext, ok = t, true
+		}
+	}
+	if stop := !ok || minNext >= n.roundLimit; stop {
+		if me == 0 {
+			return end, actOver
+		}
+		n.wb.words[0].post(end, true)
+		return 0, actPark
+	}
+	next := n.roundLimit
+	if n.lookahead > 0 && minNext+n.lookahead < next {
+		next = minNext + n.lookahead
+	}
+	n.roundEnd = next
+	meRuns := n.publishWindow(next, me)
+	if meRuns {
+		return next, actRun
+	}
+	return 0, actPark
+}
+
+// publishWindow resets the arrival counter for the shards holding
+// events before end and posts their release words, skipping shard me
+// (the caller, who acts on the returned flag instead). Every heap is
+// scanned before the counter store and the store precedes every word
+// post; the ordering is load-bearing twice over. The counter store is
+// the release edge covering the scans: every future heap write sits
+// behind an arrival (an acquire on the counter), so even a caller that
+// parks right after publishing has its reads ordered before them. And
+// arrivals at the new boundary always compare against the new
+// membership — a shard released by an early post must not reach the
+// barrier while the counter still describes the previous window.
+func (n *Network) publishWindow(end sim.Time, me int) (meRuns bool) {
+	n.wb.actv = n.wb.actv[:0]
+	for j, e := range n.engines {
+		if t, ok := e.NextAt(); ok && t < end {
+			if j == me {
+				meRuns = true
+			} else {
+				n.wb.actv = append(n.wb.actv, j)
+			}
+		}
+	}
+	cnt := uint64(len(n.wb.actv))
+	if meRuns {
+		cnt++
+	}
+	n.wb.count.Store(cnt << 32)
+	for _, j := range n.wb.actv {
+		n.wb.words[j].post(end, false)
+	}
+	return meRuns
+}
+
+// shardWindows runs shard i's heap through consecutive windows: execute
+// strictly below end, arrive at the barrier, and — as last arriver —
+// decide the next window. It returns the decision that ended this
+// shard's participation: actRun never escapes, actPark means wait on
+// the release word, actOver (shard 0 only) means the round is over,
+// with the stop boundary in the returned time. Wall-clock time spent
+// executing events is charged to the shard's busy counter for load
+// observability.
+func (n *Network) shardWindows(i int, end sim.Time) (sim.Time, int) {
+	eng := n.engines[i]
+	c := &n.ctxs[i]
+	for {
+		t0 := time.Now()
+		eng.RunBefore(end)
+		c.busyNanos += time.Since(t0).Nanoseconds()
+		if !n.wb.arrive() {
+			return 0, actPark
+		}
+		var act int
+		end, act = n.windowDecide(i)
+		if act != actRun {
+			return end, act
+		}
+	}
+}
+
+// coordRound drives shard 0 through one round and returns the boundary
+// the round stopped at: run windows while active, park on the release
+// word while dormant, resume when a decider re-activates shard 0 or
+// posts the stop.
+func (n *Network) coordRound(active bool, end sim.Time, sense *uint32) sim.Time {
+	for {
+		if active {
+			var act int
+			end, act = n.shardWindows(0, end)
+			if act == actOver {
+				return end
+			}
+		}
+		w := n.wb.words[0].wait(sense)
+		end = sim.Time(w >> 2)
+		if w&stateStop != 0 {
+			return end
+		}
+		active = true
+	}
+}
+
+// runSharded is the conservative-PDES round loop. Worker goroutines for
+// shards 1..K-1 are spawned once and park on their release words
+// whenever they are not executing a window; shard 0 runs inline here.
+// Each round:
 //
-//  1. all clocks are aligned to the barrier time T and the global
-//     engine runs its events at T (scenario callbacks, membership,
-//     World.At) single-threaded — these may mutate the graph, touch
-//     shared protocol state, and send packets (pushed directly into
-//     shard heaps, since no shard goroutine is running);
+//  1. all clocks are aligned to the round time T and the global engine
+//     runs its events at T (scenario callbacks, membership, World.At)
+//     single-threaded — these may mutate the graph, touch shared
+//     protocol state, and send packets (pushed directly into shard
+//     heaps, since every worker is parked);
 //  2. the router applies any pending epoch invalidation so route
-//     caches are stable during the window, and the lookahead is
-//     recomputed if link state changed (a scenario may have shortened
-//     a cut link's delay);
-//  3. if every pending event lies beyond T, the barrier fast-forwards
-//     to the earliest one (or stops, when none remain at or before
+//     caches are stable during the round, and the lookahead is
+//     recomputed if link state changed (graph mutations happen only in
+//     this phase, so it cannot change mid-round);
+//  3. if every pending event lies beyond T, the loop fast-forwards to
+//     the earliest one (or stops, when none remain at or before
 //     until);
-//  4. the window end is chosen: at most T + lookahead (no cross-shard
-//     influence can land earlier), capped by the next global event
-//     (which must run single-threaded at its exact time) and by
-//     until + 1 (so the final window includes events at until);
-//  5. every shard runs its heap strictly below end in parallel —
-//     shard 0 inline on this goroutine, the rest on persistent
-//     workers — with cross-shard packets parked in per-shard
-//     outboxes;
-//  6. outboxes are drained in deterministically sorted order into the
-//     destination heaps, before the next global phase so handoffs
-//     precede (get lower sequence numbers than) anything the next
-//     barrier schedules at the same instant, exactly as they would
-//     serially.
+//  4. the round limit is fixed — the next global event (which must run
+//     single-threaded at its exact time) or until + 1 (so the final
+//     window includes events at until) — the first window
+//     [T, min(T+L, limit)) is published to the shards with events in
+//     it, and the shards run windows until the barrier decides the
+//     round is over (see windowDecide);
+//  5. back on this goroutine with the workers parked, handoffs parked
+//     during the round's final window are drained in deterministically
+//     sorted order into the destination heaps (mid-round boundaries
+//     were already drained by barrier deciders), before the next
+//     global phase so handoffs precede (get lower sequence numbers
+//     than) anything the next round schedules at the same instant,
+//     exactly as they would serially.
 func (n *Network) runSharded(until sim.Time) {
 	K := n.plan.K
-	var wg sync.WaitGroup
-	work := make([]chan sim.Time, K)
+	n.wb = newBarrier(K)
+	var done sync.WaitGroup
+	done.Add(K - 1)
 	for i := 1; i < K; i++ {
-		ch := make(chan sim.Time, 1)
-		work[i] = ch
-		eng := n.engines[i]
-		go func() {
-			for end := range ch {
-				eng.RunBefore(end)
-				wg.Done()
+		go func(i int) {
+			defer done.Done()
+			var sense uint32
+			for {
+				w := n.wb.words[i].wait(&sense)
+				if w&stateStop != 0 {
+					return
+				}
+				n.shardWindows(i, sim.Time(w>>2))
 			}
-		}()
+		}(i)
 	}
 	defer func() {
 		for i := 1; i < K; i++ {
-			close(work[i])
+			n.wb.words[i].post(0, true)
 		}
+		done.Wait()
 	}()
 
-	lookahead := n.plan.LookaheadNow(n.g)
+	var sense0 uint32
+	n.lookahead = n.plan.LookaheadNow(n.g)
 	lastEpoch := n.g.Epoch()
 	T := n.eng.Now()
 	for {
@@ -148,7 +455,7 @@ func (n *Network) runSharded(until sim.Time) {
 		n.rt.Sync()
 		if e := n.g.Epoch(); e != lastEpoch {
 			lastEpoch = e
-			lookahead = n.plan.LookaheadNow(n.g)
+			n.lookahead = n.plan.LookaheadNow(n.g)
 		}
 		next, ok := n.nextEventAt()
 		if !ok || next > until {
@@ -158,33 +465,38 @@ func (n *Network) runSharded(until sim.Time) {
 			T = next
 			continue
 		}
-		end := until + 1
-		if lookahead > 0 && T+lookahead < end {
-			end = T + lookahead
+		// The global engine has run through T, so its next event — and
+		// the round limit — lie strictly beyond T, and the shard holding
+		// the event at T is active in the first window: the round always
+		// has at least one participant.
+		limit := until + 1
+		if gn, ok := n.eng.NextAt(); ok && gn < limit {
+			limit = gn
 		}
-		if gn, ok := n.eng.NextAt(); ok && gn < end {
-			end = gn
+		end := limit
+		if n.lookahead > 0 && T+n.lookahead < end {
+			end = T + n.lookahead
 		}
+		n.roundLimit = limit
+		n.roundEnd = end
 		n.parallel = true
-		wg.Add(K - 1)
-		for i := 1; i < K; i++ {
-			work[i] <- end
-		}
-		n.engines[0].RunBefore(end)
-		wg.Wait()
+		act0 := n.publishWindow(end, 0)
+		stop := n.coordRound(act0, end, &sense0)
 		n.parallel = false
-		n.exchange()
-		adv := end
+		if n.pendingHandoffs() {
+			n.exchange()
+		}
+		adv := stop
 		if adv > until {
 			adv = until
 		}
 		for _, e := range n.engines {
 			e.AdvanceTo(adv)
 		}
-		if end > until {
+		if stop > until {
 			break
 		}
-		T = end
+		T = stop
 	}
 	n.eng.Run(until)
 	for _, e := range n.engines {
@@ -192,38 +504,88 @@ func (n *Network) runSharded(until sim.Time) {
 	}
 }
 
+// ShardStat describes one shard's share of a sharded run: its static
+// slice of the partition (nodes, clients, planned weight) and the load
+// it actually carried (events executed, wall-clock nanoseconds spent
+// executing them). Events are deterministic; BusyNanos is wall-clock
+// and varies run to run — it is an observability signal, never an
+// input to the simulation.
+type ShardStat struct {
+	Shard     int
+	Nodes     int
+	Clients   int
+	Weight    int
+	Events    uint64
+	BusyNanos int64
+}
+
+// ShardStats returns per-shard load statistics for a sharded run, or
+// nil when the network runs serially. Call it after Run returns; it
+// must not race a running round.
+func (n *Network) ShardStats() []ShardStat {
+	if n.plan == nil {
+		return nil
+	}
+	st := make([]ShardStat, n.plan.K)
+	for i := range st {
+		st[i].Shard = i
+		st[i].Events = n.engines[i].Fired()
+		st[i].BusyNanos = n.ctxs[i].busyNanos
+		if i < len(n.plan.Weights) {
+			st[i].Weight = n.plan.Weights[i]
+		}
+	}
+	for node, s := range n.plan.ShardOf {
+		st[s].Nodes++
+		if n.g.Nodes[node].Kind == topology.Client {
+			st[s].Clients++
+		}
+	}
+	return st
+}
+
+// CalibrateClientWeight fits a sharded run's measured per-shard event
+// counts to the client/router load model and returns the client weight
+// that would have balanced it (see topology.CalibrateClientWeight).
+// The false return means the run's shard mix cannot support a fit.
+// topology.DefaultClientWeight was derived exactly this way from
+// Figure 7 runs.
+func CalibrateClientWeight(stats []ShardStat) (int, bool) {
+	clients := make([]int, len(stats))
+	routers := make([]int, len(stats))
+	events := make([]int64, len(stats))
+	for i, s := range stats {
+		clients[i] = s.Clients
+		routers[i] = s.Nodes - s.Clients
+		events[i] = int64(s.Events)
+	}
+	return topology.CalibrateClientWeight(clients, routers, events)
+}
+
 // exchange drains every shard's outboxes into the destination shard
 // heaps. Handoffs bound for one shard are merged across sources and
-// sorted by (arrival time, producing-hop time, source shard) — a pure
-// function of the simulation state — so the sequence numbers they
-// receive, and hence tie-breaking against all other events, are
+// stably sorted by (arrival time, producing-hop time, source shard) —
+// a pure function of the simulation state — so the sequence numbers
+// they receive, and hence tie-breaking against all other events, are
 // independent of goroutine timing.
 func (n *Network) exchange() {
 	K := n.plan.K
 	for dst := 0; dst < K; dst++ {
-		buf := n.xbuf[:0]
+		n.xq = n.xq[:0]
 		for src := 0; src < K; src++ {
 			box := n.ctxs[src].out[dst]
 			for _, h := range box {
-				buf = append(buf, xferEntry{h: h, src: src})
+				n.xq = append(n.xq, xferEntry{h: h, src: src})
 			}
 			n.ctxs[src].out[dst] = box[:0]
 		}
-		if len(buf) > 1 {
-			sort.SliceStable(buf, func(i, j int) bool {
-				if buf[i].h.at != buf[j].h.at {
-					return buf[i].h.at < buf[j].h.at
-				}
-				if buf[i].h.schedAt != buf[j].h.schedAt {
-					return buf[i].h.schedAt < buf[j].h.schedAt
-				}
-				return buf[i].src < buf[j].src
-			})
+		if len(n.xq) > 1 {
+			sort.Stable(&n.xq)
 		}
 		eng := n.engines[dst]
-		for _, e := range buf {
+		for _, e := range n.xq {
 			eng.ScheduleArg(e.h.at, n.hopFn, e.h.f)
 		}
-		n.xbuf = buf[:0]
 	}
+	n.xq = n.xq[:0]
 }

@@ -35,6 +35,11 @@ type Router struct {
 	trees     []*spTree // indexed by source node id; nil until first query
 	clientIdx []int32   // node id -> index into g.Clients, or -1
 	epoch     uint64    // graph route epoch the trees were built at
+	// hier is the hierarchical backend, engaged at construction for
+	// topologies of hierNodeThreshold nodes and above (and only when
+	// the graph passes the transit-stub validation — see hier.go). When
+	// non-nil it answers every query; the flat trees stay unused.
+	hier *hierRouter
 }
 
 type spTree struct {
@@ -57,7 +62,11 @@ func NewRouter(g *Graph) *Router {
 	for i, c := range g.Clients {
 		idx[c] = int32(i)
 	}
-	return &Router{g: g, trees: make([]*spTree, len(g.Nodes)), clientIdx: idx}
+	r := &Router{g: g, trees: make([]*spTree, len(g.Nodes)), clientIdx: idx, epoch: g.epoch}
+	if len(g.Nodes) >= hierNodeThreshold {
+		r.hier = buildHier(g)
+	}
+	return r
 }
 
 // Graph returns the underlying topology.
@@ -92,6 +101,9 @@ func (r *Router) ensureEpoch() {
 	if e := r.g.epoch; e != r.epoch {
 		for i := range r.trees {
 			r.trees[i] = nil
+		}
+		if r.hier != nil {
+			r.hier = buildHier(r.g)
 		}
 		r.epoch = e
 	}
@@ -147,6 +159,10 @@ func (r *Router) Path(from, to int) []int32 {
 	if from == to {
 		return emptyPath
 	}
+	if r.hier != nil {
+		r.ensureEpoch()
+		return r.hier.path(from, to)
+	}
 	t := r.tree(from)
 	if t.dist[to] == unreachable {
 		return nil
@@ -184,6 +200,14 @@ func (r *Router) Delay(from, to int) sim.Duration {
 	if from == to {
 		return 0
 	}
+	if r.hier != nil {
+		r.ensureEpoch()
+		d := r.hier.dist(from, to)
+		if d == unreachable {
+			return -1
+		}
+		return sim.Duration(d)
+	}
 	t := r.tree(from)
 	d := t.dist[to]
 	if d == unreachable {
@@ -194,6 +218,10 @@ func (r *Router) Delay(from, to int) sim.Duration {
 
 // Reachable reports whether to is reachable from from.
 func (r *Router) Reachable(from, to int) bool {
+	if from != to && r.hier != nil {
+		r.ensureEpoch()
+		return r.hier.reachable(from, to)
+	}
 	return from == to || r.tree(from).dist[to] != unreachable
 }
 

@@ -28,17 +28,32 @@ type ShardPlan struct {
 	// Lookahead is the minimum delay over CutLinks at planning time
 	// (0 when K == 1: no cut, unbounded windows).
 	Lookahead sim.Duration
+	// Weights is each shard's planned weight — the sum of the node
+	// weights the balancer packed onto it. Surfaced for load
+	// observability (bullet-sim -shardstats); never read by the
+	// runtime.
+	Weights []int
 }
 
 // LookaheadNow returns the minimum current delay over the cut links —
 // the valid window length given the graph's present link state (a
-// scenario may have shortened a cut link's latency mid-run).
+// scenario may have shortened a cut link's latency mid-run). Down cut
+// links are skipped: a failed link drops every packet at the near-side
+// hop, so it cannot carry a cross-shard influence, and a scenario that
+// fails the shortest cut link widens the window instead of pinning it.
+// A return of 0 (every cut link down, or no cut) means unbounded: the
+// only thing that can re-establish cross-shard traffic is a graph
+// mutation, and those run on the global engine, which already bounds
+// the round.
 func (p *ShardPlan) LookaheadNow(g *Graph) sim.Duration {
 	var min sim.Duration
-	for i, lid := range p.CutLinks {
-		d := g.Links[lid].Delay
-		if i == 0 || d < min {
-			min = d
+	for _, lid := range p.CutLinks {
+		l := &g.Links[lid]
+		if l.Down {
+			continue
+		}
+		if min == 0 || l.Delay < min {
+			min = l.Delay
 		}
 	}
 	return min
@@ -76,13 +91,62 @@ func (u *uf) union(a, b int32) {
 	u.parent[rb] = ra
 }
 
-// nodeWeight approximates a node's event load: clients carry the
-// endpoints, protocol timers, and most packet hops, so they dominate.
+// DefaultClientWeight is the relative event load of a client node
+// versus a router node, used by PartitionShards to balance shards.
+// The value is measured, not guessed: fitting per-shard executed-event
+// counters (netem.ShardStats on Figure 7 runs) to per-shard client and
+// router counts with CalibrateClientWeight gives ≈150k events per
+// client against ≈15 per router — clients own the protocol timers,
+// endpoint packet processing, and most hop events, while routers only
+// forward through. The earlier hand-picked 101:1 underweighted clients
+// by two orders of magnitude, which let a client-heavy stub domain
+// pair with a router-heavy one and stall every barrier window on the
+// hot shard. Partition choice never affects simulation output bytes —
+// only load balance — so re-deriving this constant is always safe.
+const DefaultClientWeight = 10000
+
+// nodeWeight approximates a node's event load.
 func nodeWeight(k NodeKind) int {
 	if k == Client {
-		return 101
+		return DefaultClientWeight
 	}
 	return 1
+}
+
+// CalibrateClientWeight fits measured per-shard event counts to the
+// two-parameter load model events ≈ a·clients + b·routers (least
+// squares through the origin) and returns the rounded ratio a/b — the
+// client weight that would have balanced the observed run. The second
+// return is false when the data cannot support a fit: fewer than two
+// shards, a singular system (e.g. all shards have identical client:
+// router proportions), or a non-positive router coefficient.
+func CalibrateClientWeight(clients, routers []int, events []int64) (int, bool) {
+	if len(clients) < 2 || len(routers) != len(clients) || len(events) != len(clients) {
+		return 0, false
+	}
+	var cc, cr, rr, ce, re float64
+	for i := range clients {
+		c, r, e := float64(clients[i]), float64(routers[i]), float64(events[i])
+		cc += c * c
+		cr += c * r
+		rr += r * r
+		ce += c * e
+		re += r * e
+	}
+	det := cc*rr - cr*cr
+	if det == 0 {
+		return 0, false
+	}
+	a := (ce*rr - cr*re) / det
+	b := (cc*re - cr*ce) / det
+	if a <= 0 || b <= 0 {
+		return 0, false
+	}
+	w := int(a/b + 0.5)
+	if w < 1 {
+		w = 1
+	}
+	return w, true
 }
 
 // PartitionShards partitions g into at most k shards.
@@ -216,7 +280,10 @@ func PartitionShards(g *Graph, k int) ShardPlan {
 		shardOf[i] = rename[s]
 	}
 
-	plan := ShardPlan{K: k, ShardOf: shardOf}
+	plan := ShardPlan{K: k, ShardOf: shardOf, Weights: make([]int, k)}
+	for i := range g.Nodes {
+		plan.Weights[shardOf[i]] += nodeWeight(g.Nodes[i].Kind)
+	}
 	for i := range g.Links {
 		l := &g.Links[i]
 		if shardOf[l.A] != shardOf[l.B] {

@@ -1,0 +1,183 @@
+package topology
+
+import (
+	"testing"
+
+	"bullet/internal/sim"
+)
+
+// starTopo builds a star of stub atoms around one transit hub: atoms
+// B1..Bn (one stub + one client each, weight DefaultClientWeight+1)
+// hang off transit node t via Transit-Stub links of ascending delay, so
+// the merge phase absorbs atoms into t's group in B1..Bn order until
+// the balance cap stops it.
+func starTopo(t *testing.T, n int) (*Graph, []int) {
+	t.Helper()
+	b := NewBuilder()
+	const huge = 1e12
+	hub := b.AddNode(Transit, 0, 0)
+	stubs := make([]int, n)
+	for i := 0; i < n; i++ {
+		s := b.AddNode(Stub, float64(i), 1)
+		c := b.AddNode(Client, float64(i), 2)
+		b.AddLink(c, s, ClientStub, huge, sim.Millisecond, 0)
+		b.AddLink(hub, s, TransitStub, huge, sim.Duration(i+1)*sim.Millisecond, 0)
+		stubs[i] = s
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, stubs
+}
+
+// TestPartitionBalanceCapOverflowPacking drives the merge phase into
+// its balance cap: with 7 equal stub atoms star-connected through one
+// transit hub and k=3, the cap (2x the ideal shard weight) lets the
+// hub group absorb only 4 atoms, leaving 4 groups for 3 shards. The
+// surplus group must be packed onto the lightest shard, not dropped or
+// given its own shard.
+func TestPartitionBalanceCapOverflowPacking(t *testing.T) {
+	g, _ := starTopo(t, 7)
+	plan := PartitionShards(g, 3)
+	if plan.K != 3 {
+		t.Fatalf("K = %d, want 3", plan.K)
+	}
+	aw := DefaultClientWeight + 1 // one client + one stub
+	want := map[int]bool{4*aw + 1: false, 2 * aw: false, aw: false}
+	for _, w := range plan.Weights {
+		seen, ok := want[w]
+		if !ok || seen {
+			t.Fatalf("shard weights %v, want {%d, %d, %d}", plan.Weights, 4*aw+1, 2*aw, aw)
+		}
+		want[w] = true
+	}
+	// Every node must be assigned to a valid shard.
+	for i, s := range plan.ShardOf {
+		if s < 0 || s >= plan.K {
+			t.Fatalf("node %d assigned to shard %d", i, s)
+		}
+	}
+	// Cut links are exactly the Transit-Stub links whose atom landed
+	// off the hub's shard, and the lookahead is their minimum delay:
+	// atoms B5..B7 (delays 5,6,7 ms) stayed off, so 5ms.
+	if plan.Lookahead != 5*sim.Millisecond {
+		t.Fatalf("lookahead = %v, want 5ms", plan.Lookahead)
+	}
+	if len(plan.CutLinks) != 3 {
+		t.Fatalf("%d cut links, want 3", len(plan.CutLinks))
+	}
+}
+
+// TestPartitionSingleAtomK1 checks the K clamp: a topology that is one
+// indivisible atom (a stub domain with clients, no transit) cannot be
+// split no matter how many shards are requested.
+func TestPartitionSingleAtomK1(t *testing.T) {
+	b := NewBuilder()
+	const huge = 1e12
+	s0 := b.AddNode(Stub, 0, 0)
+	s1 := b.AddNode(Stub, 1, 0)
+	b.AddLink(s0, s1, StubStub, huge, sim.Millisecond, 0)
+	for i := 0; i < 3; i++ {
+		c := b.AddNode(Client, float64(i), 1)
+		b.AddLink(c, s0, ClientStub, huge, sim.Millisecond, 0)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := PartitionShards(g, 8)
+	if plan.K != 1 {
+		t.Fatalf("K = %d, want 1", plan.K)
+	}
+	if len(plan.CutLinks) != 0 || plan.Lookahead != 0 {
+		t.Fatalf("single shard has cut %v lookahead %v", plan.CutLinks, plan.Lookahead)
+	}
+	if len(plan.Weights) != 1 || plan.Weights[0] != 3*DefaultClientWeight+2 {
+		t.Fatalf("weights %v, want [%d]", plan.Weights, 3*DefaultClientWeight+2)
+	}
+	for i, s := range plan.ShardOf {
+		if s != 0 {
+			t.Fatalf("node %d on shard %d, want 0", i, s)
+		}
+	}
+}
+
+// TestLookaheadNowTracksLinkState checks the runtime lookahead against
+// mid-run link mutations: a scenario that shortens a cut link must
+// shrink the window, and a failed cut link must stop pinning it (a
+// down link cannot carry cross-shard influence).
+func TestLookaheadNowTracksLinkState(t *testing.T) {
+	g, _ := starTopo(t, 7)
+	plan := PartitionShards(g, 3)
+	if plan.LookaheadNow(g) != 5*sim.Millisecond {
+		t.Fatalf("initial lookahead %v, want 5ms", plan.LookaheadNow(g))
+	}
+	// A scenario shortens the 6ms cut link below the current minimum.
+	var six int32 = -1
+	for _, lid := range plan.CutLinks {
+		if g.Links[lid].Delay == 6*sim.Millisecond {
+			six = lid
+		}
+	}
+	if six < 0 {
+		t.Fatal("6ms cut link not found")
+	}
+	g.SetLatency(int(six), 2*sim.Millisecond)
+	if got := plan.LookaheadNow(g); got != 2*sim.Millisecond {
+		t.Fatalf("after shortening: lookahead %v, want 2ms", got)
+	}
+	// Failing the now-shortest cut link widens the window back out.
+	g.FailLink(int(six))
+	if got := plan.LookaheadNow(g); got != 5*sim.Millisecond {
+		t.Fatalf("after failing shortest: lookahead %v, want 5ms", got)
+	}
+	// With every cut link down the lookahead is 0 = unbounded.
+	for _, lid := range plan.CutLinks {
+		g.FailLink(int(lid))
+	}
+	if got := plan.LookaheadNow(g); got != 0 {
+		t.Fatalf("all cut links down: lookahead %v, want 0", got)
+	}
+	// Restoring brings links back with their current (mutated) delays:
+	// the shortened 2ms link pins the window again.
+	for _, lid := range plan.CutLinks {
+		g.RestoreLink(int(lid))
+	}
+	if got := plan.LookaheadNow(g); got != 2*sim.Millisecond {
+		t.Fatalf("after restore: lookahead %v, want 2ms", got)
+	}
+}
+
+// TestCalibrateClientWeight feeds the fit synthetic per-shard loads
+// generated from a known model and checks recovery, plus the
+// degenerate inputs that must refuse to fit.
+func TestCalibrateClientWeight(t *testing.T) {
+	// Exact model: 500 events per client, 5 per router -> ratio 100.
+	clients := []int{16, 1, 12, 11}
+	routers := []int{441, 49, 490, 478}
+	events := make([]int64, len(clients))
+	for i := range events {
+		events[i] = int64(500*clients[i] + 5*routers[i])
+	}
+	w, ok := CalibrateClientWeight(clients, routers, events)
+	if !ok || w != 100 {
+		t.Fatalf("fit = %d, %v; want 100, true", w, ok)
+	}
+	// Too few shards.
+	if _, ok := CalibrateClientWeight([]int{4}, []int{10}, []int64{100}); ok {
+		t.Fatal("fit accepted a single shard")
+	}
+	// Singular: every shard has the same client:router proportion, so
+	// the two coefficients cannot be separated.
+	if _, ok := CalibrateClientWeight([]int{2, 4, 8}, []int{10, 20, 40},
+		[]int64{100, 200, 400}); ok {
+		t.Fatal("fit accepted proportional (singular) shard mix")
+	}
+	// Negative router coefficient (events anti-correlated with
+	// routers) must be rejected rather than returned as a weight.
+	if _, ok := CalibrateClientWeight([]int{1, 2}, []int{100, 10},
+		[]int64{100, 300}); ok {
+		t.Fatal("fit accepted a non-positive router coefficient")
+	}
+}

@@ -6,18 +6,78 @@
 // senders so peers transmit disjoint data.
 package workset
 
-// Set is a windowed set of sequence numbers.
+import "math/bits"
+
+// Set is a windowed set of sequence numbers, stored as a dense bitmap
+// anchored at a word-aligned base. Sequence windows are contiguous and
+// bounded — TrimBelow keeps the retained span within the recovery
+// window — so a bitmap holds the whole set in a few kilobytes and
+// turns the hot-path membership tests and range scans into bit
+// operations instead of map probes. The bitmap covers [base, base +
+// 64*len(words)); bits outside [low, max] are always zero.
 type Set struct {
-	have map[uint64]struct{}
-	low  uint64 // smallest retained (inclusive); seqs below are forgotten
-	max  uint64 // largest ever added
-	any  bool
-	cnt  uint64 // total distinct adds, including trimmed
+	words []uint64
+	base  uint64 // sequence of bit 0; multiple of 64, base <= all held
+	low   uint64 // smallest retained (inclusive); seqs below are forgotten
+	max   uint64 // largest ever added
+	n     int    // retained count (set bits)
+	any   bool
+	cnt   uint64 // total distinct adds, including trimmed
 }
 
 // New creates an empty working set.
 func New() *Set {
-	return &Set{have: make(map[uint64]struct{})}
+	return &Set{}
+}
+
+func (s *Set) bit(seq uint64) (word, mask uint64, in bool) {
+	if seq < s.base {
+		return 0, 0, false
+	}
+	idx := seq - s.base
+	if idx >= uint64(len(s.words))*64 {
+		return 0, 0, false
+	}
+	return idx >> 6, 1 << (idx & 63), true
+}
+
+// ensure grows or re-anchors the bitmap so seq is addressable. The
+// base only moves down to cover a late add above low; trimmed space at
+// the front is reclaimed by rebasing when it exceeds the live span.
+func (s *Set) ensure(seq uint64) (word, mask uint64) {
+	if !s.any {
+		s.base = seq &^ 63
+	} else if seq < s.base {
+		// Out-of-order add below the anchor: prepend words.
+		newBase := seq &^ 63
+		shift := (s.base - newBase) >> 6
+		s.words = append(s.words, make([]uint64, shift)...)
+		copy(s.words[shift:], s.words[:len(s.words)-int(shift)])
+		for i := uint64(0); i < shift; i++ {
+			s.words[i] = 0
+		}
+		s.base = newBase
+	} else if lw := s.low &^ 63; lw > s.base {
+		if off := lw - s.base; off>>6 >= uint64(len(s.words))/2 && off >= 128 {
+			// Rebase: discard fully-trimmed words at the front.
+			w := off >> 6
+			copy(s.words, s.words[w:])
+			tail := s.words[len(s.words)-int(w):]
+			for i := range tail {
+				tail[i] = 0
+			}
+			s.base += off
+		}
+	}
+	idx := seq - s.base
+	for idx >= uint64(len(s.words))*64 {
+		grow := len(s.words)
+		if grow < 4 {
+			grow = 4
+		}
+		s.words = append(s.words, make([]uint64, grow)...)
+	}
+	return idx >> 6, 1 << (idx & 63)
 }
 
 // Add records seq; it returns true if seq was new (not currently held
@@ -26,10 +86,12 @@ func (s *Set) Add(seq uint64) bool {
 	if s.any && seq < s.low {
 		return false // below the window: treated as already seen
 	}
-	if _, ok := s.have[seq]; ok {
+	if w, m, in := s.bit(seq); in && s.words[w]&m != 0 {
 		return false
 	}
-	s.have[seq] = struct{}{}
+	w, m := s.ensure(seq)
+	s.words[w] |= m
+	s.n++
 	s.cnt++
 	if !s.any || seq > s.max {
 		s.max = seq
@@ -44,18 +106,18 @@ func (s *Set) Contains(seq uint64) bool {
 	if s.any && seq < s.low {
 		return true
 	}
-	_, ok := s.have[seq]
-	return ok
+	w, m, in := s.bit(seq)
+	return in && s.words[w]&m != 0
 }
 
 // Held reports whether seq is actually retained (servable to a peer).
 func (s *Set) Held(seq uint64) bool {
-	_, ok := s.have[seq]
-	return ok
+	w, m, in := s.bit(seq)
+	return in && s.words[w]&m != 0
 }
 
 // Len returns the number of retained sequences.
-func (s *Set) Len() int { return len(s.have) }
+func (s *Set) Len() int { return s.n }
 
 // Total returns the number of distinct sequences ever added.
 func (s *Set) Total() uint64 { return s.cnt }
@@ -81,9 +143,19 @@ func (s *Set) TrimBelow(lo uint64) {
 	if lo <= s.low {
 		return
 	}
-	for seq := range s.have {
-		if seq < lo {
-			delete(s.have, seq)
+	if s.any && lo > s.base {
+		end := lo - s.base
+		if cap := uint64(len(s.words)) * 64; end > cap {
+			end = cap
+		}
+		for w := uint64(0); w < end>>6; w++ {
+			s.n -= bits.OnesCount64(s.words[w])
+			s.words[w] = 0
+		}
+		if rem := end & 63; rem != 0 {
+			w, m := end>>6, uint64(1)<<rem-1
+			s.n -= bits.OnesCount64(s.words[w] & m)
+			s.words[w] &^= m
 		}
 	}
 	s.low = lo
@@ -92,18 +164,40 @@ func (s *Set) TrimBelow(lo uint64) {
 // ForRange calls fn for every *held* sequence in [lo, hi] in ascending
 // order; fn returning false stops iteration.
 func (s *Set) ForRange(lo, hi uint64, fn func(seq uint64) bool) {
-	if s.any && lo < s.low {
+	if !s.any {
+		return
+	}
+	if lo < s.low {
 		lo = s.low
 	}
-	for seq := lo; seq <= hi; seq++ {
-		if _, ok := s.have[seq]; ok {
-			if !fn(seq) {
+	if lo < s.base {
+		lo = s.base
+	}
+	if hi > s.max {
+		hi = s.max
+	}
+	if lo > hi {
+		return
+	}
+	w := (lo - s.base) >> 6
+	cur := s.words[w] &^ (1<<((lo-s.base)&63) - 1)
+	last := (hi - s.base) >> 6
+	for {
+		if w == last {
+			cur &= ^uint64(0) >> (63 - (hi-s.base)&63)
+		}
+		for cur != 0 {
+			b := uint64(bits.TrailingZeros64(cur))
+			cur &= cur - 1
+			if !fn(s.base + w<<6 + b) {
 				return
 			}
 		}
-		if seq == ^uint64(0) {
+		if w == last {
 			return
 		}
+		w++
+		cur = s.words[w]
 	}
 }
 
@@ -113,16 +207,41 @@ func (s *Set) MissingInRange(lo, hi uint64) int {
 	if s.any && lo < s.low {
 		lo = s.low
 	}
-	n := 0
-	for seq := lo; seq <= hi; seq++ {
-		if _, ok := s.have[seq]; !ok {
-			n++
-		}
-		if seq == ^uint64(0) {
-			break
-		}
+	if lo > hi {
+		return 0
 	}
-	return n
+	span := hi - lo + 1 // no overflow: lo > 0 whenever hi is ^uint64(0)-adjacent in practice
+	if span == 0 {      // lo == 0 && hi == ^uint64(0)
+		span = ^uint64(0)
+	}
+	return int(span) - s.heldCount(lo, hi)
+}
+
+// heldCount counts held sequences in [lo, hi].
+func (s *Set) heldCount(lo, hi uint64) int {
+	if !s.any {
+		return 0
+	}
+	if lo < s.base {
+		lo = s.base
+	}
+	if hi > s.max {
+		hi = s.max
+	}
+	if lo > hi {
+		return 0
+	}
+	w := (lo - s.base) >> 6
+	last := (hi - s.base) >> 6
+	first := s.words[w] &^ (1<<((lo-s.base)&63) - 1)
+	if w == last {
+		return bits.OnesCount64(first & (^uint64(0) >> (63 - (hi-s.base)&63)))
+	}
+	n := bits.OnesCount64(first)
+	for i := w + 1; i < last; i++ {
+		n += bits.OnesCount64(s.words[i])
+	}
+	return n + bits.OnesCount64(s.words[last]&(^uint64(0)>>(63-(hi-s.base)&63)))
 }
 
 // RowOf returns the matrix row (Figure 4) that sequence seq belongs to
