@@ -227,7 +227,9 @@ type WorldConfig struct {
 	// synchronization. 0 or 1 runs serially. Any value produces traces
 	// and metrics byte-identical to the serial run — sharding is purely
 	// an execution-speed knob. The effective count may be lower than
-	// requested (World.Shards reports it).
+	// requested (World.Shards reports it). netem.AutoShardCount (-1)
+	// lets topology.AutoShards pick the count from the topology's load
+	// and the machine's core count.
 	Shards int
 }
 
@@ -264,7 +266,7 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 	eng := sim.NewEngine(cfg.Seed)
 	rt := topology.NewRouter(g)
 	net := netem.New(eng, g, rt, netem.Config{})
-	if cfg.Shards > 1 {
+	if cfg.Shards > 1 || cfg.Shards == netem.AutoShardCount {
 		net.EnableShards(cfg.Shards)
 	}
 	return &World{eng: eng, g: g, rt: rt, net: net}, nil

@@ -12,15 +12,23 @@
 //	go test -bench=. -benchtime=1x -benchmem | \
 //	    benchgate -json BENCH.json -baseline bench_baseline.json -max-regress 0.20
 //
+// Regenerate the committed baseline from a fresh run (deterministic
+// bytes: names and metric keys sorted, floats in their shortest
+// round-trip form — rerunning on identical metrics is a no-op diff):
+//
+//	go test -bench=. -benchtime=1x -benchmem | \
+//	    benchgate -baseline bench_baseline.json -update
+//
 // The JSON artifact records every metric a benchmark reported — ns/op,
 // B/op, allocs/op, and the custom experiment metrics (useful_kbps,
 // dup_ratio, ...) — keyed by benchmark name with the GOMAXPROCS suffix
 // stripped. Only the gate metrics (default "ns/op,B/op,allocs/op")
 // fail the run; the rest are carried so CI artifacts track the full
-// trajectory. Benchmarks whose baseline ns/op is under -min-ns are
-// exempt from every gate metric (single-iteration noise); -calibrate
-// divides out a uniform hardware delta for ns/op only, since byte and
-// allocation counts do not scale with machine speed.
+// trajectory. Benchmarks whose baseline ns/op is strictly under
+// -exempt-below are exempt from every gate metric (single-iteration
+// noise; -min-ns is a deprecated alias); -calibrate divides out a
+// uniform hardware delta for ns/op only, since byte and allocation
+// counts do not scale with machine speed.
 package main
 
 import (
@@ -56,9 +64,11 @@ func run(argv []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		baseline   = fs.String("baseline", "", "baseline JSON to gate against")
 		maxRegress = fs.Float64("max-regress", 0.20, "allowed fractional regression of each gate metric")
 		metric     = fs.String("metric", "ns/op,B/op,allocs/op", "comma-separated metrics the gate compares")
-		minNs      = fs.Float64("min-ns", 1e8, "skip gating benchmarks whose baseline ns/op is below this (single-iteration timing noise)")
+		exempt     = fs.Float64("exempt-below", 1e8, "exempt benchmarks whose baseline ns/op is strictly below this from every gate metric (single-iteration timings of sub-100ms benches are noise)")
+		update     = fs.Bool("update", false, "rewrite the -baseline file from this run's parsed metrics instead of gating against it (deterministic bytes: sorted keys, shortest round-trip floats)")
 		calibrate  = fs.Bool("calibrate", false, "divide current ns/op by the median current/baseline ratio (clamped to [0.5, 2]) before gating, so a uniform hardware-speed delta between the baseline machine and this one does not trip the gate; counting metrics (B/op, allocs/op) are machine-independent and never calibrated")
 	)
+	fs.Float64Var(exempt, "min-ns", *exempt, "deprecated alias for -exempt-below")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
@@ -83,16 +93,23 @@ func run(argv []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 1
 	}
 	if *jsonOut != "" {
-		data, err := json.MarshalIndent(rep, "", "  ")
-		if err != nil {
-			fmt.Fprintln(stderr, "benchgate:", err)
-			return 1
-		}
-		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+		if err := writeReport(*jsonOut, rep); err != nil {
 			fmt.Fprintln(stderr, "benchgate:", err)
 			return 1
 		}
 		fmt.Fprintf(stderr, "benchgate: wrote %d benchmark(s) to %s\n", len(rep.Benchmarks), *jsonOut)
+	}
+	if *update {
+		if *baseline == "" {
+			fmt.Fprintln(stderr, "benchgate: -update requires -baseline (the file to rewrite)")
+			return 2
+		}
+		if err := writeReport(*baseline, rep); err != nil {
+			fmt.Fprintln(stderr, "benchgate:", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "benchgate: updated baseline %s with %d benchmark(s)\n", *baseline, len(rep.Benchmarks))
+		return 0
 	}
 	if *baseline == "" {
 		return 0
@@ -117,7 +134,7 @@ func run(argv []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		// Calibration corrects for machine speed, which only affects
 		// timing metrics.
 		cal := *calibrate && m == "ns/op"
-		for _, f := range gate(&base, rep, m, *maxRegress, *minNs, cal, stdout) {
+		for _, f := range gate(&base, rep, m, *maxRegress, *exempt, cal, stdout) {
 			// A benchmark missing from the current run surfaces once per
 			// gate metric with the identical message; count it once.
 			if !seen[f] {
@@ -135,6 +152,19 @@ func run(argv []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// writeReport serializes rep to path with deterministic bytes: the
+// same metrics always produce the same file, so regenerating an
+// unchanged baseline is a no-op diff. encoding/json provides both
+// guarantees — map keys (benchmark names and metric units) are emitted
+// sorted, and floats use the shortest representation that round-trips.
+func writeReport(path string, rep *Report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // parse extracts benchmark metrics from `go test -bench` output. A
@@ -184,8 +214,9 @@ func parse(r io.Reader) (*Report, error) {
 // in the baseline but missing from the current run is a failure (a
 // silently deleted benchmark would otherwise un-gate itself); new
 // benchmarks pass unchecked, as do benchmarks whose baseline ns/op is
-// below minNs — at -benchtime=1x their timing is dominated by noise,
-// though their metrics still land in the JSON artifact.
+// strictly below exemptBelow — at -benchtime=1x their timing is
+// dominated by noise, though their metrics still land in the JSON
+// artifact. A baseline exactly at the threshold is gated.
 //
 // With calibrate, current values are divided by the median
 // current/baseline ratio across the gated set before comparison: a
@@ -194,7 +225,7 @@ func parse(r io.Reader) (*Report, error) {
 // the median. The correction is clamped to [0.5, 2], so a uniform
 // slowdown beyond 2x still trips the gate rather than being normalized
 // away.
-func gate(base, cur *Report, metric string, maxRegress, minNs float64, calibrate bool, out io.Writer) []string {
+func gate(base, cur *Report, metric string, maxRegress, exemptBelow float64, calibrate bool, out io.Writer) []string {
 	names := make([]string, 0, len(base.Benchmarks))
 	for n := range base.Benchmarks {
 		names = append(names, n)
@@ -206,7 +237,7 @@ func gate(base, cur *Report, metric string, maxRegress, minNs float64, calibrate
 		if !ok {
 			return 0, false // no gate metric: informational only
 		}
-		if ns, has := base.Benchmarks[n]["ns/op"]; has && ns < minNs {
+		if ns, has := base.Benchmarks[n]["ns/op"]; has && ns < exemptBelow {
 			return bv, false
 		}
 		return bv, true

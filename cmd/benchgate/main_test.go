@@ -262,6 +262,90 @@ func TestGateMetricsRespectMinNsAndCalibrate(t *testing.T) {
 	}
 }
 
+// -update rewrites the baseline file from the current run with
+// deterministic bytes: sorted benchmark names, sorted metric keys,
+// shortest round-trip floats — so regenerating from identical metrics
+// is a no-op diff, and the fresh baseline gates its own run clean.
+func TestUpdateRewritesBaselineDeterministically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	// Seed the file with stale content -update must fully replace.
+	if err := os.WriteFile(path, []byte(`{"benchmarks":{"BenchmarkGone":{"ns/op":1}}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	code := run([]string{"-baseline", path, "-update"},
+		strings.NewReader(benchOutput), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0; stderr: %s", code, errb.String())
+	}
+	first, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(first), "BenchmarkGone") {
+		t.Error("stale baseline entry survived -update")
+	}
+	fig7 := strings.Index(string(first), "BenchmarkFig07")
+	table1 := strings.Index(string(first), "BenchmarkTable1")
+	if fig7 < 0 || table1 < 0 || table1 < fig7 {
+		t.Fatalf("benchmark names missing or unsorted: Fig07@%d Table1@%d", fig7, table1)
+	}
+	if !strings.Contains(string(first), `"ns/op": 2052964325`) {
+		t.Errorf("integral float not in shortest form:\n%s", first)
+	}
+	// Rerunning on the same input must reproduce the bytes exactly.
+	if code := run([]string{"-baseline", path, "-update"},
+		strings.NewReader(benchOutput), &out, &errb); code != 0 {
+		t.Fatalf("second -update exit %d", code)
+	}
+	second, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Error("-update output is not byte-stable across identical runs")
+	}
+	// The regenerated baseline passes against the run that produced it,
+	// even with a zero regression allowance.
+	if code := run([]string{"-baseline", path, "-max-regress", "0", "-exempt-below", "0"},
+		strings.NewReader(benchOutput), &out, &errb); code != 0 {
+		t.Fatalf("fresh baseline fails its own run: exit %d; stderr: %s", code, errb.String())
+	}
+}
+
+func TestUpdateRequiresBaseline(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-update"}, strings.NewReader(benchOutput), &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2 (-update without -baseline)", code)
+	}
+	if !strings.Contains(errb.String(), "-update requires -baseline") {
+		t.Errorf("stderr %q missing explanation", errb.String())
+	}
+}
+
+// The -exempt-below exemption is strict: a baseline ns/op exactly at
+// the threshold is gated, one below it is skipped. -min-ns remains as
+// a deprecated alias sharing the same value (the older tests above
+// still exercise it).
+func TestExemptBelowBoundary(t *testing.T) {
+	// Baseline 11ms; the current run (benchOutput) is ~+4.4%, so with a
+	// 0.1% allowance the benchmark fails whenever it is actually gated.
+	base := writeBaseline(t, &Report{Benchmarks: map[string]Metrics{
+		"BenchmarkTable1": {"ns/op": 11000000},
+	}})
+	var out, errb bytes.Buffer
+	code := run([]string{"-baseline", base, "-max-regress", "0.001", "-exempt-below", "11000000"},
+		strings.NewReader(benchOutput), &out, &errb)
+	if code != 1 {
+		t.Fatalf("baseline == threshold: exit %d, want 1 (gated)", code)
+	}
+	code = run([]string{"-baseline", base, "-max-regress", "0.001", "-exempt-below", "11000001"},
+		strings.NewReader(benchOutput), &out, &errb)
+	if code != 0 {
+		t.Fatalf("baseline < threshold: exit %d, want 0 (exempt); stderr: %s", code, errb.String())
+	}
+}
+
 // A benchmark whose current run lacks a gate metric the baseline has
 // must fail, not gate as 0 (which would read as a -100% improvement).
 func TestGateFailsOnMissingMetric(t *testing.T) {

@@ -7,6 +7,7 @@
 //	bullet-sim -experiment all -scale medium -out results/
 //	bullet-sim -experiment fig6,fig7,fig8 -parallel 4
 //	bullet-sim -experiment churn-xl -scale xl -shards 8
+//	bullet-sim -experiment fig7 -scale mega -shards auto
 //	bullet-sim -list
 //
 // Scales: small (seconds of wall-clock), medium, xl (the CI smoke
@@ -41,6 +42,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -79,10 +81,39 @@ func (c RunConfig) Validate() error {
 		return &RunConfigError{Flag: "parallel", Value: c.Parallel,
 			Why: "worker count must be positive"}
 	}
-	if c.Shards < 0 {
+	if c.Shards < 0 && c.Shards != netem.AutoShardCount {
 		return &RunConfigError{Flag: "shards", Value: c.Shards,
-			Why: "shard count cannot be negative (0 or 1 means serial)"}
+			Why: "shard count cannot be negative (0 or 1 means serial, \"auto\" tunes it)"}
 	}
+	return nil
+}
+
+// shardsValue is the -shards flag: a non-negative shard count, or the
+// word "auto" to let topology.AutoShards size the partition from the
+// topology's load and the machine's cores (stored as
+// netem.AutoShardCount).
+type shardsValue struct{ v *int }
+
+func (s shardsValue) String() string {
+	if s.v == nil {
+		return "0"
+	}
+	if *s.v == netem.AutoShardCount {
+		return "auto"
+	}
+	return strconv.Itoa(*s.v)
+}
+
+func (s shardsValue) Set(raw string) error {
+	if raw == "auto" {
+		*s.v = netem.AutoShardCount
+		return nil
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil {
+		return fmt.Errorf("want a shard count or \"auto\", got %q", raw)
+	}
+	*s.v = n
 	return nil
 }
 
@@ -105,8 +136,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		cfg        RunConfig
 	)
 	fs.IntVar(&cfg.Parallel, "parallel", runtime.GOMAXPROCS(0), "worker goroutines for multi-experiment runs")
-	fs.IntVar(&cfg.Shards, "shards", 0, "simulation shards per experiment run (0 or 1 = serial; output is identical at any value)")
-	shardStats := fs.Bool("shardstats", false, "print a per-shard load table to stderr after sharded runs (for partition-balance diagnosis; most useful with a single experiment)")
+	fs.Var(shardsValue{&cfg.Shards}, "shards", "simulation shards per experiment run (0 or 1 = serial, \"auto\" = tuned to topology and cores; output is identical at any value)")
+	shardStats := fs.Bool("shardstats", false, "print executed-event accounting to stderr after the runs: a per-shard load table plus global/total event counts for sharded runs, the single-engine total for serial ones (for partition-balance diagnosis; most useful with a single experiment)")
 	fs.StringVar(&cfg.CPUProfile, "cpuprofile", "", "write a CPU profile of the experiment runs to this file")
 	fs.StringVar(&cfg.MemProfile, "memprofile", "", "write an allocation profile (after the runs) to this file")
 	if err := fs.Parse(argv); err != nil {
@@ -242,36 +273,51 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// shardStatsRecorder collects per-shard load counters from experiment
-// worlds. Counters are cumulative, so each world's latest report
-// supersedes its earlier ones; the recorder keeps the final table seen
-// (with several experiments in flight, that is the last world to
-// finish a run segment — the flag is aimed at single-experiment use).
+// shardStatsRecorder collects executed-event accounting from
+// experiment worlds. Counters are cumulative, so each world's latest
+// report supersedes its earlier ones; the recorder keeps the final
+// load seen (with several experiments in flight, that is the last
+// world to finish a run segment — the flag is aimed at
+// single-experiment use).
 type shardStatsRecorder struct {
 	mu   sync.Mutex
-	last []netem.ShardStat
+	last netem.RunLoad
+	seen bool
 }
 
-func (r *shardStatsRecorder) record(st []netem.ShardStat) {
+func (r *shardStatsRecorder) record(l netem.RunLoad) {
 	r.mu.Lock()
-	r.last = append(r.last[:0], st...)
+	r.last = netem.RunLoad{
+		Shards:       append(r.last.Shards[:0], l.Shards...),
+		GlobalEvents: l.GlobalEvents,
+	}
+	r.seen = true
 	r.mu.Unlock()
 }
 
 func (r *shardStatsRecorder) print(w io.Writer) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if len(r.last) == 0 {
-		fmt.Fprintln(w, "# shard stats: no sharded run executed")
+	if !r.seen {
+		fmt.Fprintln(w, "# shard stats: no run recorded")
 		return
 	}
-	fmt.Fprintf(w, "# shard load (K=%d)\n", len(r.last))
+	l := r.last
+	if len(l.Shards) == 0 {
+		// Serial runs report their single-engine count: it is the total
+		// any sharded run of the same experiment must reproduce.
+		fmt.Fprintf(w, "# serial run: all %d events on the global engine\n", l.GlobalEvents)
+		return
+	}
+	fmt.Fprintf(w, "# shard load (K=%d)\n", len(l.Shards))
 	fmt.Fprintln(w, "shard\tnodes\tclients\tweight\tevents\tbusy_ms")
-	for _, s := range r.last {
+	for _, s := range l.Shards {
 		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%.1f\n",
 			s.Shard, s.Nodes, s.Clients, s.Weight, s.Events,
 			float64(s.BusyNanos)/1e6)
 	}
+	fmt.Fprintf(w, "# global engine: %d events\n", l.GlobalEvents)
+	fmt.Fprintf(w, "# total: %d events (identical for any -shards value)\n", l.TotalEvents())
 }
 
 func writeResult(dir string, rr experiments.RunResult, scaleName string, stderr io.Writer) error {

@@ -5,8 +5,11 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
+
+	"bullet/internal/netem"
 )
 
 func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
@@ -231,7 +234,9 @@ func TestRunConfigValidationExits2(t *testing.T) {
 	}{
 		{[]string{"-q", "-experiment", "table1", "-parallel", "0"}, "-parallel 0"},
 		{[]string{"-q", "-experiment", "table1", "-parallel", "-3"}, "-parallel -3"},
-		{[]string{"-q", "-experiment", "table1", "-shards", "-1"}, "-shards -1"},
+		// -1 is the auto sentinel (netem.AutoShardCount), so the first
+		// plainly-invalid negative is -2.
+		{[]string{"-q", "-experiment", "table1", "-shards", "-2"}, "-shards -2"},
 	} {
 		code, out, errb := runCLI(t, tc.args...)
 		if code != 2 {
@@ -279,6 +284,42 @@ func TestShardedOutputMatchesSerial(t *testing.T) {
 	}
 }
 
+// -shards accepts the word "auto" (stored as netem.AutoShardCount and
+// tuned per topology by topology.AutoShards). At small scale auto
+// resolves to serial, and — like every shard count — leaves the output
+// bytes unchanged.
+func TestShardsAutoFlag(t *testing.T) {
+	if err := (RunConfig{Parallel: 1, Shards: netem.AutoShardCount}).Validate(); err != nil {
+		t.Fatalf("auto sentinel rejected: %v", err)
+	}
+	var cfg RunConfig
+	v := shardsValue{&cfg.Shards}
+	if err := v.Set("auto"); err != nil || cfg.Shards != netem.AutoShardCount {
+		t.Fatalf("Set(auto): err %v, Shards %d", err, cfg.Shards)
+	}
+	if v.String() != "auto" {
+		t.Fatalf("String() = %q, want %q", v.String(), "auto")
+	}
+	if err := v.Set("8"); err != nil || cfg.Shards != 8 {
+		t.Fatalf("Set(8): err %v, Shards %d", err, cfg.Shards)
+	}
+	if err := v.Set("eight"); err == nil {
+		t.Fatal("Set accepted a non-count, non-auto value")
+	}
+	if testing.Short() {
+		t.Skip("small-scale runs; skipped in -short")
+	}
+	args := []string{"-q", "-experiment", "table1", "-scale", "small"}
+	_, serial, _ := runCLI(t, args...)
+	code, auto, _ := runCLI(t, append(args, "-shards", "auto")...)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	if auto != serial {
+		t.Fatal("-shards auto changed output bytes")
+	}
+}
+
 func TestShardStatsTableOnStderr(t *testing.T) {
 	if testing.Short() {
 		t.Skip("small-scale sharded run; skipped in -short")
@@ -317,12 +358,78 @@ func TestShardStatsTableOnStderr(t *testing.T) {
 	}
 }
 
-func TestShardStatsSerialReportsNone(t *testing.T) {
+// table1 only generates and measures a topology — it never enters the
+// event loop, so there is no load to report. (Serial runs that do
+// simulate print their engine total; see
+// TestShardStatsEventsSumToSerialTotal.)
+func TestShardStatsNoRunRecorded(t *testing.T) {
 	code, _, errb := runCLI(t, "-q", "-experiment", "table1", "-scale", "small", "-shardstats")
 	if code != 0 {
 		t.Fatalf("exit %d, want 0", code)
 	}
-	if !strings.Contains(errb, "no sharded run executed") {
-		t.Fatalf("stderr missing serial notice:\n%s", errb)
+	if !strings.Contains(errb, "no run recorded") {
+		t.Fatalf("stderr missing no-run notice:\n%s", errb)
+	}
+}
+
+// parseEvents extracts the integer that follows prefix on the matching
+// stderr line, e.g. "# global engine: 123 events" -> 123.
+func parseEvents(t *testing.T, stderr, prefix string) uint64 {
+	t.Helper()
+	for _, line := range strings.Split(stderr, "\n") {
+		if rest, ok := strings.CutPrefix(line, prefix); ok {
+			v, err := strconv.ParseUint(strings.Fields(rest)[0], 10, 64)
+			if err != nil {
+				t.Fatalf("bad count in %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("stderr has no line starting %q:\n%s", prefix, stderr)
+	return 0
+}
+
+// The -shardstats accounting closes: each shard's executed events plus
+// the global engine's sum to the printed total, and that total equals
+// the serial run's single-engine count — sharding never adds or drops
+// a logical event.
+func TestShardStatsEventsSumToSerialTotal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two small-scale runs; skipped in -short")
+	}
+	args := []string{"-q", "-experiment", "fig6", "-scale", "small", "-shardstats"}
+	code, _, serialErr := runCLI(t, args...)
+	if code != 0 {
+		t.Fatalf("serial exit %d, want 0", code)
+	}
+	serialTotal := parseEvents(t, serialErr, "# serial run: all ")
+
+	code, _, shardedErr := runCLI(t, append(args, "-shards", "4")...)
+	if code != 0 {
+		t.Fatalf("sharded exit %d, want 0", code)
+	}
+	var shardSum uint64
+	rows := 0
+	for _, line := range strings.Split(shardedErr, "\n") {
+		f := strings.Split(line, "\t")
+		if len(f) == 6 && f[0] != "shard" {
+			v, err := strconv.ParseUint(f[4], 10, 64)
+			if err != nil {
+				t.Fatalf("bad events column in %q: %v", line, err)
+			}
+			shardSum += v
+			rows++
+		}
+	}
+	if rows != 4 {
+		t.Fatalf("got %d shard rows, want 4:\n%s", rows, shardedErr)
+	}
+	global := parseEvents(t, shardedErr, "# global engine: ")
+	total := parseEvents(t, shardedErr, "# total: ")
+	if shardSum+global != total {
+		t.Errorf("accounting does not close: shards %d + global %d != total %d", shardSum, global, total)
+	}
+	if total != serialTotal {
+		t.Errorf("sharded total %d != serial total %d", total, serialTotal)
 	}
 }

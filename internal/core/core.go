@@ -94,14 +94,39 @@ type senderInfo struct {
 // receiver's advertised (Low, High) range — known gaps, served
 // immediately — while fresh are sequences beyond High, served in
 // arrival order once they pass the freshness gate.
+// seqQueue is a FIFO of sequence numbers consumed from the front by
+// index. Consuming via front-reslicing (q = q[1:]) abandons the
+// backing array one element at a time, so every rebuild re-grows the
+// queue from whatever capacity survived — at sustained stream rates
+// that was one of the largest steady-state allocation sources in the
+// process. Tracking a head index instead reuses the array forever.
+type seqQueue struct {
+	buf  []uint64
+	head int
+}
+
+func (q *seqQueue) reset()        { q.buf = q.buf[:0]; q.head = 0 }
+func (q *seqQueue) push(s uint64) { q.buf = append(q.buf, s) }
+func (q *seqQueue) len() int      { return len(q.buf) - q.head }
+func (q *seqQueue) peek() uint64  { return q.buf[q.head] }
+
+// popFront consumes the front element, rewinding to the array start
+// once the queue empties so pushes re-fill it from offset zero.
+func (q *seqQueue) popFront() {
+	q.head++
+	if q.head == len(q.buf) {
+		q.reset()
+	}
+}
+
 type recvPeerInfo struct {
 	node      int
 	flow      *transport.Flow
 	filter    *bloom.Filter
 	low, high uint64
 	mod, rows int
-	holes     []uint64
-	fresh     []uint64
+	holes     seqQueue
+	fresh     seqQueue
 	sentSince *nodeset.SeqWindow // recently sent: seq -> send time (pooled)
 	sentBytes uint64             // bytes sent in current eval window
 	recvBytes uint64             // receiver's reported total, last refresh
@@ -127,6 +152,16 @@ type Node struct {
 	pumpFn    func()
 	refreshFn func()
 	evalFn    func()
+
+	// rebuildQueue's ForRange visitor, bound once here with the active
+	// receiver passed through rbRf: the per-refresh closure used to be
+	// one of the last steady-state allocations on the control path.
+	rbFn func(seq uint64) bool
+	rbRf *recvPeerInfo
+
+	// candScratch backs maybeRequestPeer's candidate filtering; reused
+	// across calls, grown once to the RanSub set size.
+	candScratch []ransub.Entry
 
 	ws       *workset.Set
 	ticket   *sketch.Ticket
@@ -355,6 +390,7 @@ func (sys *System) addNode(id int) error {
 	n.pumpFn = n.pumpTick
 	n.refreshFn = n.refreshTick
 	n.evalFn = n.evalTick
+	n.rbFn = n.rebuildVisit
 	// Relative scheduling: at deploy (virtual time zero) this is
 	// identical to absolute, and it lets addNode serve late joiners.
 	jitter := sim.Duration(n.rng.Int63n(int64(sys.cfg.FilterRefresh)))
@@ -492,9 +528,9 @@ func (n *Node) feedReceivers(seq uint64) {
 			continue
 		}
 		if seq <= rf.high {
-			rf.holes = append(rf.holes, seq)
+			rf.holes.push(seq)
 		} else {
-			rf.fresh = append(rf.fresh, seq)
+			rf.fresh.push(seq)
 		}
 	}
 }
@@ -628,7 +664,7 @@ func (n *Node) maybeRequestPeer() {
 	if len(n.senders) >= n.sys.cfg.MaxSenders || n.pending >= 0 || len(n.lastSet) == 0 {
 		return
 	}
-	var candidates []ransub.Entry
+	candidates := n.candScratch[:0]
 	for _, e := range n.lastSet {
 		if e.Node == n.id || e.Node == n.parent {
 			continue
@@ -641,6 +677,7 @@ func (n *Node) maybeRequestPeer() {
 		}
 		candidates = append(candidates, e)
 	}
+	n.candScratch = candidates[:0]
 	if len(candidates) == 0 {
 		return
 	}
@@ -803,34 +840,39 @@ func (n *Node) onFilterRefresh(from int, m *filterRefreshMsg) {
 		// the previous row holder still has in flight, so serving the
 		// inherited holes now would duplicate them. Defer them to the
 		// next refresh, whose filter will be conclusive.
-		rf.holes = rf.holes[:0]
+		rf.holes.reset()
 	}
 }
 
 // rebuildQueue rescans the working set for packets the receiver is
 // missing in its row and range.
 func (n *Node) rebuildQueue(rf *recvPeerInfo) {
-	rf.holes = rf.holes[:0]
-	rf.fresh = rf.fresh[:0]
-	lo := rf.low
-	hi := n.ws.High()
-	n.ws.ForRange(lo, hi, func(seq uint64) bool {
-		if rf.rows > 1 && workset.RowOf(seq, rf.rows) != rf.mod {
-			return true
-		}
-		if rf.filter != nil && rf.filter.Contains(seq) {
-			return true
-		}
-		if rf.sentSince.Contains(seq) {
-			return true
-		}
-		if seq <= rf.high {
-			rf.holes = append(rf.holes, seq)
-		} else {
-			rf.fresh = append(rf.fresh, seq)
-		}
+	rf.holes.reset()
+	rf.fresh.reset()
+	n.rbRf = rf
+	n.ws.ForRange(rf.low, n.ws.High(), n.rbFn)
+	n.rbRf = nil
+}
+
+// rebuildVisit is rebuildQueue's per-seq visitor, reached through the
+// pre-bound n.rbFn with the receiver under scan in n.rbRf.
+func (n *Node) rebuildVisit(seq uint64) bool {
+	rf := n.rbRf
+	if rf.rows > 1 && workset.RowOf(seq, rf.rows) != rf.mod {
 		return true
-	})
+	}
+	if rf.filter != nil && rf.filter.Contains(seq) {
+		return true
+	}
+	if rf.sentSince.Contains(seq) {
+		return true
+	}
+	if seq <= rf.high {
+		rf.holes.push(seq)
+	} else {
+		rf.fresh.push(seq)
+	}
+	return true
 }
 
 // onPeerDrop tears down one side of a peering.
@@ -872,7 +914,7 @@ func (n *Node) pumpTick() {
 }
 
 func (n *Node) pumpReceiver(rf *recvPeerInfo) {
-	if len(rf.holes) == 0 && len(rf.fresh) == 0 {
+	if rf.holes.len() == 0 && rf.fresh.len() == 0 {
 		n.pumpIdle++
 	}
 	// Known holes first: the receiver has told us it lacks these.
@@ -888,13 +930,13 @@ func (n *Node) pumpReceiver(rf *recvPeerInfo) {
 
 // drainQueue serves candidates from q within the flow budget. It
 // returns false when the budget ran out.
-func (n *Node) drainQueue(rf *recvPeerInfo, q *[]uint64, gated bool) bool {
+func (n *Node) drainQueue(rf *recvPeerInfo, q *seqQueue, gated bool) bool {
 	size := n.sys.cfg.PacketSize
 	now := n.ep.Scheduler().Now()
-	for len(*q) > 0 {
-		seq := (*q)[0]
+	for q.len() > 0 {
+		seq := q.peek()
 		if !n.ws.Held(seq) {
-			*q = (*q)[1:]
+			q.popFront()
 			continue
 		}
 		// Freshness gate: packets beyond the receiver's advertised High
@@ -907,17 +949,17 @@ func (n *Node) drainQueue(rf *recvPeerInfo, q *[]uint64, gated bool) bool {
 			}
 		}
 		if rf.sentSince.Contains(seq) {
-			*q = (*q)[1:]
+			q.popFront()
 			continue
 		}
 		if rf.filter != nil && rf.filter.Contains(seq) {
-			*q = (*q)[1:]
+			q.popFront()
 			continue
 		}
 		if !rf.flow.TrySend(seq, size) {
 			return false // out of budget; keep the queue
 		}
-		*q = (*q)[1:]
+		q.popFront()
 		rf.sentSince.Set(seq, now)
 		rf.sentBytes += uint64(size)
 	}

@@ -42,7 +42,7 @@ func TestDebugDump(t *testing.T) {
 			nsend += len(n.senders)
 			nrecv += len(n.receivers)
 			for _, rf := range n.receivers {
-				q += uint64(len(rf.holes) + len(rf.fresh))
+				q += uint64(rf.holes.len() + rf.fresh.len())
 				sentBytes += rf.sentBytes
 			}
 			return true

@@ -35,17 +35,20 @@ type Scale struct {
 
 	// Shards is the number of parallel simulation shards the emulator
 	// runs the experiment on (netem.Network.EnableShards). 0 or 1 means
-	// serial execution. Any value yields byte-identical results; >1
+	// serial execution; netem.AutoShardCount (-1) defers the choice to
+	// topology.AutoShards. Any value yields byte-identical results; >1
 	// trades goroutine/barrier overhead for wall-clock speedup on
 	// multi-core hosts.
 	Shards int
 
-	// ShardStatsSink, when set on a sharded scale, receives the
-	// cumulative per-shard load counters after every run segment of
-	// every world the experiment builds (bullet-sim -shardstats wires
-	// this to a stderr table). Purely observational: it never affects
-	// simulation output.
-	ShardStatsSink func([]netem.ShardStat)
+	// ShardStatsSink, when set, receives the cumulative executed-event
+	// accounting — per-shard load counters plus the global engine's own
+	// count — after every run segment of every world the experiment
+	// builds (bullet-sim -shardstats wires this to a stderr table).
+	// Serial runs report too, with no shard tables: their global count
+	// is the total any sharded run of the same experiment must match.
+	// Purely observational: it never affects simulation output.
+	ShardStatsSink func(netem.RunLoad)
 }
 
 // The four standard scales.
@@ -205,7 +208,7 @@ type world struct {
 	g         *topology.Graph
 	rt        *topology.Router
 	seed      int64
-	statsSink func([]netem.ShardStat)
+	statsSink func(netem.RunLoad)
 }
 
 // newWorld generates a topology at the given scale/profile and wraps
@@ -221,7 +224,7 @@ func newWorld(sc Scale, bw topology.BandwidthProfile, loss topology.LossProfile,
 	eng := sim.NewEngine(seed)
 	rt := topology.NewRouter(g)
 	net := netem.New(eng, g, rt, netem.Config{})
-	if sc.Shards > 1 {
+	if sc.Shards > 1 || sc.Shards == netem.AutoShardCount {
 		net.EnableShards(sc.Shards)
 	}
 	return &world{eng: eng, net: net, g: g, rt: rt, seed: seed, statsSink: sc.ShardStatsSink}, nil
@@ -234,9 +237,7 @@ func newWorld(sc Scale, bw topology.BandwidthProfile, loss topology.LossProfile,
 func (w *world) run(until sim.Time) {
 	w.net.Run(until)
 	if w.statsSink != nil {
-		if st := w.net.ShardStats(); st != nil {
-			w.statsSink(st)
-		}
+		w.statsSink(w.net.RunLoad())
 	}
 }
 

@@ -90,7 +90,7 @@ func Fig15(sc Scale, seed int64) (*Result, error) {
 		eng := sim.NewEngine(seed)
 		rt := topology.NewRouter(g)
 		net := netem.New(eng, g, rt, netem.Config{})
-		if sc.Shards > 1 {
+		if sc.Shards > 1 || sc.Shards == netem.AutoShardCount {
 			net.EnableShards(sc.Shards)
 		}
 		w := &world{eng: eng, net: net, g: g, rt: rt, seed: seed}

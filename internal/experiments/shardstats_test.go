@@ -17,9 +17,13 @@ func TestShardStatsAndCalibration(t *testing.T) {
 		t.Skip("full small-scale run; skipped in -short")
 	}
 	var sunk []netem.ShardStat
+	var sunkGlobal uint64
 	sc := Small
 	sc.Shards = 4
-	sc.ShardStatsSink = func(st []netem.ShardStat) { sunk = append(sunk[:0], st...) }
+	sc.ShardStatsSink = func(l netem.RunLoad) {
+		sunk = append(sunk[:0], l.Shards...)
+		sunkGlobal = l.GlobalEvents
+	}
 	w, _, _, err := fig7Run(sc, 42, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -60,5 +64,28 @@ func TestShardStatsAndCalibration(t *testing.T) {
 	// far above the 101:1 the balancer once assumed.
 	if wgt < 1000 || wgt > 1000000 {
 		t.Fatalf("calibrated client weight %d outside plausible band [1e3, 1e6]", wgt)
+	}
+
+	// Executed-event identity: sharding neither adds nor drops logical
+	// events, so the sharded run's total — shard engines plus the global
+	// engine — must equal a serial run's single-engine count exactly.
+	// (Figure 7 schedules everything through per-node schedulers, so a
+	// zero global-engine count here is legitimate.)
+	load := w.net.RunLoad()
+	if sunkGlobal != load.GlobalEvents {
+		t.Errorf("sink saw %d global events, final load %d", sunkGlobal, load.GlobalEvents)
+	}
+	ws, _, _, err := fig7Run(Small, 42, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := ws.net.RunLoad()
+	if serial.Shards != nil {
+		t.Fatal("serial run reports shard stats")
+	}
+	if serial.TotalEvents() != load.TotalEvents() {
+		t.Fatalf("event totals diverge: serial %d, sharded %d (shards %d + global %d)",
+			serial.TotalEvents(), load.TotalEvents(),
+			load.TotalEvents()-load.GlobalEvents, load.GlobalEvents)
 	}
 }

@@ -18,6 +18,7 @@
 package netem
 
 import (
+	"bullet/internal/arena"
 	"bullet/internal/sim"
 	"bullet/internal/topology"
 )
@@ -107,7 +108,11 @@ type inflight struct {
 // single-threaded barrier phase otherwise, so none of it needs locks.
 // Aggregate accounting is summed across contexts at read time.
 type shardCtx struct {
-	pool []*inflight
+	// pool backs the shard's in-flight packet states: chunked storage
+	// owned by this shard, so one shard's forwarding working set packs
+	// onto its own cache lines instead of interleaving with every other
+	// shard's (and everything else on the heap).
+	pool arena.Arena[inflight]
 	// out holds cross-shard handoffs produced during the current
 	// window, indexed by destination shard; drained (sorted) at the
 	// barrier. nil in serial runs.
@@ -238,24 +243,14 @@ func (n *Network) engineFor(shard int) *sim.Engine {
 	return n.engines[shard]
 }
 
-// getInflight takes a forwarding state from the shard's free list.
-func (c *shardCtx) getInflight() *inflight {
-	if k := len(c.pool); k > 0 {
-		f := c.pool[k-1]
-		c.pool = c.pool[:k-1]
-		return f
-	}
-	return &inflight{}
-}
+// getInflight takes a forwarding state from the shard's arena.
+func (c *shardCtx) getInflight() *inflight { return c.pool.Get() }
 
-// putInflight returns f to the shard's free list, dropping payload
-// references. A handed-off inflight retires into the pool of the shard
-// it was delivered on, not the one that allocated it; pools only ever
+// putInflight retires f to the shard's arena, dropping payload
+// references. A handed-off inflight retires into the arena of the shard
+// it was delivered on, not the one that allocated it; arenas only ever
 // grow, so drifting between shards is harmless.
-func (c *shardCtx) putInflight(f *inflight) {
-	*f = inflight{}
-	c.pool = append(c.pool, f)
-}
+func (c *shardCtx) putInflight(f *inflight) { c.pool.Put(f) }
 
 // Engine returns the global simulation engine: the clock authority for
 // deploy-time setup, scenario schedules, and membership events. Code
@@ -322,7 +317,16 @@ func (n *Network) Send(pkt Packet) {
 // packet whose destination became unreachable is dropped. On a static
 // network the epoch comparison never fires.
 func (n *Network) hop(f *inflight) {
-	sh := n.shardIdx(f.cur)
+	// Serial runs resolve everything to shard 0 and the global engine up
+	// front: hop is the single hottest callback in the process, and the
+	// plan==nil checks buried in shardIdx/engineFor are measurable at
+	// millions of hops per second.
+	sh := 0
+	eng := n.eng
+	if n.plan != nil {
+		sh = n.plan.ShardOf[f.cur]
+		eng = n.engines[sh]
+	}
 	c := &n.ctxs[sh]
 	if e := n.g.Epoch(); f.epoch != e {
 		f.epoch = e
@@ -361,7 +365,7 @@ func (n *Network) hop(f *inflight) {
 	dirIdx := 2*int(lid) + dir
 	ds := &n.dirs[dirIdx]
 
-	now := n.engineFor(sh).Now()
+	now := eng.Now()
 	start := now
 	if ds.busyUntil > start {
 		start = ds.busyUntil
@@ -409,7 +413,11 @@ func (n *Network) hop(f *inflight) {
 	arrive := ds.busyUntil + l.Delay
 	f.i++
 	f.cur = next
-	tgt := n.shardIdx(next)
+	if n.plan == nil {
+		eng.ScheduleArg(arrive, n.hopFn, f)
+		return
+	}
+	tgt := n.plan.ShardOf[next]
 	if n.parallel && tgt != sh {
 		// Cross-shard: the link is on the cut, so arrive lies at or
 		// beyond the window boundary; park the packet for the barrier

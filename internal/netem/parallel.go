@@ -178,18 +178,30 @@ func newBarrier(parties int) *wbarrier {
 	return b
 }
 
+// AutoShardCount is the sentinel EnableShards accepts in place of an
+// explicit shard count: the count is chosen by topology.AutoShards
+// from the topology's calibrated load and the machine's core count
+// (bullet-sim surfaces it as "-shards auto"). Like any other count, it
+// never affects simulation output bytes.
+const AutoShardCount = -1
+
 // EnableShards partitions the topology into at most k shards and
 // switches Run to the sharded engine. It returns the effective shard
 // count, which may be lower than requested (and is 1 — serial — when
-// k <= 1 or the topology yields a single atom). It must be called
-// before any participant registers or schedules work: per-node
-// schedulers are handed out based on the partition.
+// k <= 1 or the topology yields a single atom). Passing AutoShardCount
+// lets topology.AutoShards pick k from the topology's load and
+// runtime.GOMAXPROCS. It must be called before any participant
+// registers or schedules work: per-node schedulers are handed out
+// based on the partition.
 //
 // Every shard engine is constructed with the global engine's seed, so
 // sim.Scheduler.RNG streams are identical regardless of which engine
 // serves them, and the per-link-direction loss streams (keyed off the
 // same seed) are untouched: sharding never perturbs a single draw.
 func (n *Network) EnableShards(k int) int {
+	if k == AutoShardCount {
+		k = topology.AutoShards(n.g, runtime.GOMAXPROCS(0))
+	}
 	if k <= 1 {
 		return 1
 	}
@@ -542,6 +554,35 @@ func (n *Network) ShardStats() []ShardStat {
 		}
 	}
 	return st
+}
+
+// RunLoad is a run's executed-event accounting: the per-shard tables
+// (nil for serial runs) plus the global engine's own count — scenario
+// timers and graph mutations in sharded mode, everything in serial
+// mode. Because sharding never adds, drops, or duplicates a logical
+// event, TotalEvents is invariant across shard counts: a serial run
+// fires exactly as many events as any sharded run of the same
+// experiment, just all on one engine.
+type RunLoad struct {
+	Shards       []ShardStat
+	GlobalEvents uint64
+}
+
+// TotalEvents returns the run's executed events across the global
+// engine and every shard.
+func (l RunLoad) TotalEvents() uint64 {
+	t := l.GlobalEvents
+	for i := range l.Shards {
+		t += l.Shards[i].Events
+	}
+	return t
+}
+
+// RunLoad returns the run's executed-event accounting so far. Like
+// ShardStats, call it after Run returns; counters are cumulative
+// across run segments.
+func (n *Network) RunLoad() RunLoad {
+	return RunLoad{Shards: n.ShardStats(), GlobalEvents: n.eng.Fired()}
 }
 
 // CalibrateClientWeight fits a sharded run's measured per-shard event

@@ -375,3 +375,84 @@ func BenchmarkEngineEvery(b *testing.B) {
 		b.Fatalf("fired %d ticks, want >= %d", n, b.N)
 	}
 }
+
+// TestCalendarHorizonOrdering schedules events across both sides of
+// the ring window — including deep overflow-heap territory — out of
+// order, and checks they fire in exact (time, scheduling) order. This
+// pins the overflow migration path: events start on the heap, move
+// into the ring as the clock advances, and must interleave perfectly
+// with events pushed straight into their buckets.
+func TestCalendarHorizonOrdering(t *testing.T) {
+	e := NewEngine(1)
+	times := []Time{
+		500 * Millisecond, // overflow at push time
+		1 * Millisecond,
+		200 * Millisecond, // overflow at push time
+		133 * Millisecond,
+		10 * Second, // deep overflow
+		134 * Millisecond,
+		135 * Millisecond,
+		2 * Millisecond,
+		100 * Microsecond,
+		500 * Millisecond, // duplicate instant: fires after index 0
+	}
+	var got []int
+	for i, at := range times {
+		i := i
+		e.Schedule(at, func() { got = append(got, i) })
+	}
+	e.Run(20 * Second)
+	want := []int{8, 1, 7, 3, 5, 6, 2, 0, 9, 4}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fire order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestCalendarMigrationTieOrder creates an exact-time tie between an
+// event that waited on the overflow heap and one pushed directly into
+// the ring once the window reached that slot. The overflow event was
+// scheduled first, so it must fire first.
+func TestCalendarMigrationTieOrder(t *testing.T) {
+	e := NewEngine(1)
+	const at = 200 * Millisecond
+	var got []string
+	e.Schedule(at, func() { got = append(got, "early") }) // overflow now
+	e.Schedule(150*Millisecond, func() {
+		// at is now inside the ring window: direct bucket push, and
+		// its fresh seq must order it after the migrated twin.
+		e.Schedule(at, func() { got = append(got, "late") })
+	})
+	e.Run(Second)
+	if len(got) != 2 || got[0] != "early" || got[1] != "late" {
+		t.Fatalf("tie order %v, want [early late]", got)
+	}
+}
+
+// TestCalendarClockJumps runs the engine across idle gaps much larger
+// than the ring window (Run to a far target with nothing pending, then
+// AdvanceTo further still) and checks scheduling keeps working with
+// the window re-based far from slot zero.
+func TestCalendarClockJumps(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	e.Run(5 * Second) // empty run: clock lands on the target
+	if e.Now() != 5*Second {
+		t.Fatalf("now = %v after empty run, want 5s", e.Now())
+	}
+	e.AdvanceTo(90 * Second)
+	e.Schedule(e.Now()+3*Millisecond, func() { fired++ })
+	e.Schedule(e.Now()+400*Millisecond, func() { fired++ }) // overflow
+	e.Schedule(e.Now(), func() { fired++ })                 // current instant
+	e.Run(100 * Second)
+	if fired != 3 {
+		t.Fatalf("fired %d events after clock jumps, want 3", fired)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("%d events still pending", e.Pending())
+	}
+}

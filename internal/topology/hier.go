@@ -1,7 +1,5 @@
 package topology
 
-import "container/heap"
-
 // This file holds the hierarchical router backend, which makes Router
 // startup subquadratic on paper-scale (100k-node) transit-stub
 // topologies. The flat backend pays one Dijkstra over the whole graph
@@ -246,8 +244,8 @@ func (h *hierRouter) atomDijkstra(atom *hatom, src int32) (dist []int64, prevL, 
 	}
 	dist[src] = 0
 	q := pq{{node: src, dist: 0}}
-	for q.Len() > 0 {
-		it := heap.Pop(&q).(pqItem)
+	for len(q) > 0 {
+		it := q.pop()
 		u := atom.nodes[it.node]
 		if dist[it.node] != it.dist {
 			continue
@@ -263,7 +261,7 @@ func (h *hierRouter) atomDijkstra(atom *hatom, src int32) (dist []int64, prevL, 
 				dist[v] = nd
 				prevL[v] = he.link
 				prevN[v] = it.node
-				heap.Push(&q, pqItem{node: v, dist: nd})
+				q.push(pqItem{node: v, dist: nd})
 			}
 		}
 	}
@@ -369,8 +367,8 @@ func (h *hierRouter) buildTerminalTables() {
 		}
 		dist[s] = 0
 		q := pq{{node: int32(s), dist: 0}}
-		for q.Len() > 0 {
-			it := heap.Pop(&q).(pqItem)
+		for len(q) > 0 {
+			it := q.pop()
 			if dist[it.node] != it.dist {
 				continue
 			}
@@ -380,7 +378,7 @@ func (h *hierRouter) buildTerminalTables() {
 					dist[e.to] = nd
 					predT[e.to] = it.node
 					predE[e.to] = int32(ei)
-					heap.Push(&q, pqItem{node: e.to, dist: nd})
+					q.push(pqItem{node: e.to, dist: nd})
 				}
 			}
 		}

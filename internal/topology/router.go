@@ -1,7 +1,6 @@
 package topology
 
 import (
-	"container/heap"
 	"math"
 
 	"bullet/internal/sim"
@@ -76,13 +75,55 @@ type pqItem struct {
 	node int32
 	dist int64
 }
+
+// pq is a binary min-heap of pqItem ordered by dist. push and pop are
+// transliterations of container/heap's up/down sifts specialized to the
+// concrete type: the heap used to satisfy heap.Interface, and the
+// `any`-boxing on every Push/Pop accounted for the large majority of
+// the process's steady-state allocations (each queue entry escaped to
+// the heap as a 16-byte box). The sift algorithm — including the swap
+// sequences, and therefore the pop order of equal-dist entries — is
+// bit-identical to container/heap's, which keeps every shortest-path
+// tree, and hence every golden trace, unchanged.
 type pq []pqItem
 
-func (q pq) Len() int           { return len(q) }
-func (q pq) Less(i, j int) bool { return q[i].dist < q[j].dist }
-func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+func (q *pq) push(it pqItem) {
+	h := append(*q, it)
+	j := len(h) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if h[j].dist >= h[i].dist {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+	*q = h
+}
+
+func (q *pq) pop() pqItem {
+	h := *q
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	i := 0
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && h[j2].dist < h[j].dist {
+			j = j2
+		}
+		if h[j].dist >= h[i].dist {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	it := h[n]
+	*q = h[:n]
+	return it
+}
 
 const unreachable = int64(-1)
 
@@ -128,8 +169,8 @@ func (r *Router) tree(src int) *spTree {
 	}
 	t.dist[src] = 0
 	q := pq{{node: int32(src), dist: 0}}
-	for q.Len() > 0 {
-		it := heap.Pop(&q).(pqItem)
+	for len(q) > 0 {
+		it := q.pop()
 		if t.dist[it.node] != it.dist {
 			continue // stale entry
 		}
@@ -143,7 +184,7 @@ func (r *Router) tree(src int) *spTree {
 				t.dist[he.to] = nd
 				t.prevLink[he.to] = he.link
 				t.prevNode[he.to] = it.node
-				heap.Push(&q, pqItem{node: he.to, dist: nd})
+				q.push(pqItem{node: he.to, dist: nd})
 			}
 		}
 	}

@@ -149,6 +149,102 @@ func CalibrateClientWeight(clients, routers []int, events []int64) (int, bool) {
 	return w, true
 }
 
+// Auto-shard tuning constants. All weights are in nodeWeight units
+// (DefaultClientWeight per client, 1 per router).
+const (
+	// autoMinWeight is the load below which AutoShards always answers 1:
+	// with fewer than ~2000 clients of event load, a run's working set
+	// (event heap, per-node protocol state) stays cache-resident and the
+	// barrier rounds cost more than they save. The standard small/medium/
+	// xl/paper scales all sit below this line; mega sits far above it.
+	autoMinWeight = 2000 * DefaultClientWeight
+	// autoTargetWeight is the per-shard load AutoShards aims for — the
+	// point where a shard's event heap and hot per-node state outgrow the
+	// cache and splitting further still pays even without spare cores.
+	autoTargetWeight = 2500 * DefaultClientWeight
+	// autoMaxShards caps the answer: past this, barrier fan-in and
+	// cross-shard handoff overtake any locality or parallelism gain on
+	// the machines this simulator targets.
+	autoMaxShards = 16
+	// autoBarrierCost models one barrier round's overhead as virtual
+	// lookahead time: a candidate plan whose cut lookahead is comparable
+	// to this spends as long synchronizing as simulating, and scores
+	// accordingly. Transit-stub cut links (the longest-delay links the
+	// partitioner can leave on the cut) sit in the tens of milliseconds,
+	// so well-cut plans are barely penalized.
+	autoBarrierCost = 1 * sim.Millisecond
+)
+
+// AutoShards picks a shard count for g on a machine with the given
+// number of worker cores. It is a pure function of (g, cores): the
+// driver can resolve "-shards auto" once and every run of the same
+// topology lands on the same K. The choice never affects simulation
+// output bytes — sharded runs are byte-identical to serial at any K —
+// only wall-clock and memory locality.
+//
+// The heuristic has three stages. First, a load floor: below
+// autoMinWeight of calibrated node weight the answer is always 1.
+// Second, a candidate ceiling from both supply and demand: enough
+// shards that each carries about autoTargetWeight (locality — a
+// 100k-node topology wants several shards even on one core, because
+// each shard's event heap then stays hot), and at least one shard per
+// core (parallelism), clamped to autoMaxShards. Third, candidate plans
+// from PartitionShards are scored by effective parallelism (total
+// weight over heaviest shard — how much of K the balance actually
+// delivers) discounted by lookahead quality (the fraction of a barrier
+// window spent simulating rather than synchronizing, with one round
+// costed at autoBarrierCost). A larger K must beat the incumbent by 5%
+// to win, so ties and near-ties resolve to the smaller count.
+func AutoShards(g *Graph, cores int) int {
+	if cores < 1 {
+		cores = 1
+	}
+	total := 0
+	for i := range g.Nodes {
+		total += nodeWeight(g.Nodes[i].Kind)
+	}
+	if total < autoMinWeight {
+		return 1
+	}
+	want := total / autoTargetWeight
+	if want < 2 {
+		want = 2
+	}
+	if cores > want {
+		want = cores
+	}
+	if want > autoMaxShards {
+		want = autoMaxShards
+	}
+	best, bestScore := 1, 1.0 // serial: eff 1, no barriers
+	for k := 2; ; k *= 2 {
+		if k > want {
+			k = want
+		}
+		plan := PartitionShards(g, k)
+		if plan.K > 1 {
+			maxW := 0
+			for _, w := range plan.Weights {
+				if w > maxW {
+					maxW = w
+				}
+			}
+			eff := float64(total) / float64(maxW)
+			q := 1.0 // Lookahead 0 with K > 1 means no cut links: unbounded windows
+			if plan.Lookahead > 0 {
+				q = float64(plan.Lookahead) / float64(plan.Lookahead+autoBarrierCost)
+			}
+			if score := eff * q; score > bestScore*1.05 {
+				best, bestScore = plan.K, score
+			}
+		}
+		if k == want {
+			break
+		}
+	}
+	return best
+}
+
 // PartitionShards partitions g into at most k shards.
 //
 // Atoms are the connected components over Client-Stub and Stub-Stub

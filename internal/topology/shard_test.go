@@ -181,3 +181,84 @@ func TestCalibrateClientWeight(t *testing.T) {
 		t.Fatal("fit accepted a non-positive router coefficient")
 	}
 }
+
+// autoTopo builds a hub-and-atoms topology with a controllable total
+// load: atoms stub domains of clientsPerAtom clients each, all hanging
+// off one transit hub over 20ms Transit-Stub links (so any cut the
+// partitioner leaves has a healthy lookahead).
+func autoTopo(t *testing.T, atoms, clientsPerAtom int) *Graph {
+	t.Helper()
+	b := NewBuilder()
+	const huge = 1e12
+	hub := b.AddNode(Transit, 0, 0)
+	for i := 0; i < atoms; i++ {
+		s := b.AddNode(Stub, float64(i), 1)
+		b.AddLink(hub, s, TransitStub, huge, 20*sim.Millisecond, 0)
+		for j := 0; j < clientsPerAtom; j++ {
+			c := b.AddNode(Client, float64(i), 2)
+			b.AddLink(c, s, ClientStub, huge, sim.Millisecond, 0)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestAutoShardsLoadFloor: below autoMinWeight the answer is 1 no
+// matter how many cores are offered — small runs stay serial.
+func TestAutoShardsLoadFloor(t *testing.T) {
+	g := autoTopo(t, 4, 40) // 160 clients: two orders below the floor
+	for _, cores := range []int{1, 4, 16} {
+		if got := AutoShards(g, cores); got != 1 {
+			t.Fatalf("AutoShards(small, %d cores) = %d, want 1", cores, got)
+		}
+	}
+}
+
+// TestAutoShardsHeavyLoadSingleCore: a mega-class load (10k clients)
+// must shard even on one core — the locality target, not the core
+// count, drives the answer. The choice must also be deterministic.
+func TestAutoShardsHeavyLoadSingleCore(t *testing.T) {
+	g := autoTopo(t, 8, 1250) // 10000 clients ≈ 4x the per-shard target
+	k := AutoShards(g, 1)
+	if k < 2 {
+		t.Fatalf("AutoShards(heavy, 1 core) = %d, want > 1", k)
+	}
+	if k > autoMaxShards {
+		t.Fatalf("AutoShards(heavy, 1 core) = %d, exceeds cap %d", k, autoMaxShards)
+	}
+	if again := AutoShards(g, 1); again != k {
+		t.Fatalf("AutoShards not deterministic: %d then %d", k, again)
+	}
+	// More cores never shrink the partition.
+	if k16 := AutoShards(g, 16); k16 < k {
+		t.Fatalf("AutoShards(heavy, 16 cores) = %d < 1-core answer %d", k16, k)
+	}
+}
+
+// TestAutoShardsRespectsPlanQuality: the same heavy load with only
+// hair-trigger 50µs links available for the cut scores every sharded
+// candidate below serial (each barrier round costs ~autoBarrierCost of
+// lookahead but buys almost none), so AutoShards declines to shard.
+func TestAutoShardsRespectsPlanQuality(t *testing.T) {
+	b := NewBuilder()
+	const huge = 1e12
+	hub := b.AddNode(Transit, 0, 0)
+	for i := 0; i < 8; i++ {
+		s := b.AddNode(Stub, float64(i), 1)
+		b.AddLink(hub, s, TransitStub, huge, 50*sim.Microsecond, 0)
+		for j := 0; j < 1250; j++ {
+			c := b.AddNode(Client, float64(i), 2)
+			b.AddLink(c, s, ClientStub, huge, sim.Millisecond, 0)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := AutoShards(g, 1); got != 1 {
+		t.Fatalf("AutoShards(50µs cuts) = %d, want 1 (barrier-dominated)", got)
+	}
+}

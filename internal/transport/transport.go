@@ -8,8 +8,8 @@ package transport
 
 import (
 	"fmt"
-	"sync"
 
+	"bullet/internal/arena"
 	"bullet/internal/netem"
 	"bullet/internal/sim"
 	"bullet/internal/tfrc"
@@ -35,13 +35,6 @@ type feedbackMsg struct {
 	flowID uint32
 	fb     tfrc.Feedback
 }
-
-// fbPool recycles feedback messages: the receiving endpoint returns
-// each report to the pool once applied, so the once-per-RTT feedback
-// stream of every flow allocates nothing in steady state. Reports
-// dropped in flight (failed links, crashed endpoints) are simply
-// collected by the GC.
-var fbPool = sync.Pool{New: func() any { return new(feedbackMsg) }}
 
 type closeMsg struct {
 	flowID uint32
@@ -94,6 +87,16 @@ type Endpoint struct {
 	controlBytesOut uint64
 	transportCtlIn  uint64
 	transportCtlOut uint64
+
+	// fbArena recycles feedback messages, replacing a process-global
+	// sync.Pool: every Get and Put runs inside one of this endpoint's
+	// own events, so the arena is shard-local with no pool-internal
+	// synchronization or per-P caches. Messages drift between
+	// endpoints by design — a report is allocated by the data receiver
+	// and retired by the data sender once applied — which the arena's
+	// ownership model permits (arenas only grow). Reports dropped in
+	// flight (failed links, crashed endpoints) are collected by the GC.
+	fbArena arena.Arena[feedbackMsg]
 }
 
 // NewEndpoint attaches node to the network and registers its handler.
@@ -338,7 +341,7 @@ func (rf *recvFlow) sendFeedback() {
 		}
 	}
 	fb.RTTSample = sample
-	m := fbPool.Get().(*feedbackMsg)
+	m := rf.ep.fbArena.Get()
 	m.flowID = rf.key.id
 	m.fb = fb
 	rf.ep.sendTransportControl(rf.key.src, m, FeedbackSize)
@@ -376,7 +379,7 @@ func (ep *Endpoint) onPacket(pkt netem.Packet) {
 		if f, ok := ep.sendFlows[m.flowID]; ok {
 			f.snd.OnFeedback(ep.eng.Now().ToSeconds(), m.fb)
 		}
-		fbPool.Put(m)
+		ep.fbArena.Put(m)
 	case *closeMsg:
 		ep.transportCtlIn += uint64(pkt.Size)
 		key := flowKey{src: pkt.From, id: m.flowID}
